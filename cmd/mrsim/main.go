@@ -1,0 +1,88 @@
+// Command mrsim runs one ad-hoc simulation of a chosen algorithm and
+// prints its measurements, optionally with a Gantt diagram of resource
+// occupancy (the visualization of the paper's Figures 1 and 4):
+//
+//	mrsim -alg counter-loan -n 32 -m 80 -phi 16 -rho 0.5 -dur 5s
+//	mrsim -alg bouabdallah-laforest -phi 8 -gantt -m 10 -n 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mralloc/internal/driver"
+	"mralloc/internal/experiments"
+	"mralloc/internal/sim"
+	"mralloc/internal/trace"
+	"mralloc/internal/workload"
+)
+
+func main() {
+	algName := flag.String("alg", "counter-loan", "incremental | bouabdallah-laforest | counter-no-loan | counter-loan | shared-memory | maddi | manager")
+	n := flag.Int("n", 32, "number of nodes N")
+	m := flag.Int("m", 80, "number of resources M")
+	phi := flag.Int("phi", 16, "maximum request size φ")
+	rho := flag.Float64("rho", 0.5, "load ratio ρ = β/(α+γ); lower = heavier")
+	dur := flag.Duration("dur", 5*time.Second, "simulated duration")
+	seed := flag.Int64("seed", 1, "random seed")
+	proc := flag.Duration("proc", 600*time.Microsecond, "per-message processing time δ at receivers (0 disables)")
+	gantt := flag.Bool("gantt", false, "print an occupancy Gantt diagram")
+	width := flag.Int("width", 100, "gantt width in columns")
+	flag.Parse()
+
+	algs := map[string]experiments.Algorithm{
+		"incremental":          experiments.Incremental,
+		"bouabdallah-laforest": experiments.Bouabdallah,
+		"counter-no-loan":      experiments.WithoutLoan,
+		"counter-loan":         experiments.WithLoan,
+		"shared-memory":        experiments.SharedMem,
+		"maddi":                experiments.Maddi,
+		"manager":              experiments.Manager,
+	}
+	a, ok := algs[*algName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mrsim: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	rec := trace.NewRecorder(*m)
+	cfg := driver.Config{
+		Workload: workload.Config{
+			N: *n, M: *m, Phi: *phi,
+			AlphaMin: 5 * sim.Millisecond,
+			AlphaMax: 35 * sim.Millisecond,
+			Gamma:    600 * sim.Microsecond,
+			Rho:      *rho,
+			Seed:     *seed,
+		},
+		Processing: sim.Time(*proc),
+		Warmup:     sim.Time(*dur) / 10,
+		Horizon:    sim.Time(*dur),
+	}
+	if *gantt {
+		cfg.TraceGrant = rec.Grant
+	}
+	res, err := driver.Run(cfg, experiments.Factory(a))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm        %s\n", a)
+	fmt.Printf("N=%d M=%d φ=%d ρ=%.2f duration=%v seed=%d\n", *n, *m, *phi, *rho, *dur, *seed)
+	fmt.Printf("use rate         %.2f%%\n", 100*res.UseRate)
+	fmt.Printf("waiting time     %.2f ms (σ %.2f, min %.2f, max %.2f, %d samples)\n",
+		res.Waiting.Mean, res.Waiting.StdDev, res.Waiting.Min, res.Waiting.Max, res.Waiting.Count)
+	fmt.Printf("grants           %d (%d requests still pending at cut-off)\n", res.Grants, res.Ungranted)
+	fmt.Printf("messages         %v\n", res.Messages)
+	fmt.Printf("msgs per CS      %.2f\n", res.MsgPerGrant)
+	fmt.Printf("simulator events %d\n", res.Events)
+	if *gantt {
+		from := cfg.Warmup
+		until := from + (cfg.Horizon-cfg.Warmup)/4 // a readable quarter
+		fmt.Println()
+		fmt.Print(rec.Gantt(from, until, *width))
+	}
+}

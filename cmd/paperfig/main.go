@@ -1,0 +1,73 @@
+// Command paperfig regenerates every figure of the paper's evaluation
+// section (§5) as an ASCII table (or CSV):
+//
+//	paperfig -fig 5a          # Figure 5(a): use rate vs φ, medium load
+//	paperfig -fig all -scale full
+//	paperfig -fig 6b -csv
+//
+// Figures: 5a 5b 6a 6b 7a 7b, or "all". Scales: quick, std (default),
+// full — they trade simulated horizon and seed count for runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mralloc/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5a 5b 6a 6b 7a 7b all")
+	scale := flag.String("scale", "std", "simulation scale: quick std full")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	sc, ok := map[string]experiments.Scale{
+		"quick": experiments.Quick,
+		"std":   experiments.Std,
+		"full":  experiments.Full,
+	}[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "paperfig: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	type figure struct {
+		name string
+		run  func() (experiments.Table, error)
+	}
+	figures := []figure{
+		{"5a", func() (experiments.Table, error) { return experiments.Figure5(experiments.MediumLoad, sc) }},
+		{"5b", func() (experiments.Table, error) { return experiments.Figure5(experiments.HighLoad, sc) }},
+		{"6a", func() (experiments.Table, error) { return experiments.Figure6(experiments.MediumLoad, sc) }},
+		{"6b", func() (experiments.Table, error) { return experiments.Figure6(experiments.HighLoad, sc) }},
+		{"7a", func() (experiments.Table, error) { return experiments.Figure7(experiments.MediumLoad, sc) }},
+		{"7b", func() (experiments.Table, error) { return experiments.Figure7(experiments.HighLoad, sc) }},
+	}
+
+	ran := 0
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tab, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfig: figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.String())
+			fmt.Printf("(figure %s, scale %s, %.1fs)\n\n", f.name, *scale, time.Since(start).Seconds())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "paperfig: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

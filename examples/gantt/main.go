@@ -1,0 +1,60 @@
+// Gantt: regenerates the intuition of the paper's Figure 1 — how the
+// global lock and static scheduling waste resource time — by running
+// the same workload under Bouabdallah–Laforest, the counter algorithm
+// without loans, and with loans, and rendering each run's resource
+// occupancy as an ASCII Gantt diagram (busy cells show the holding
+// site; dots are idle time).
+//
+//	go run ./examples/gantt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mralloc/internal/driver"
+	"mralloc/internal/experiments"
+	"mralloc/internal/sim"
+	"mralloc/internal/trace"
+	"mralloc/internal/workload"
+)
+
+func main() {
+	const (
+		n, m  = 6, 5 // the paper's Figure 1 uses five resources
+		phi   = 3
+		width = 96
+	)
+	for _, a := range []experiments.Algorithm{
+		experiments.Bouabdallah,
+		experiments.WithoutLoan,
+		experiments.WithLoan,
+	} {
+		rec := trace.NewRecorder(m)
+		cfg := driver.Config{
+			Workload: workload.Config{
+				N: n, M: m, Phi: phi,
+				AlphaMin: 5 * sim.Millisecond,
+				AlphaMax: 35 * sim.Millisecond,
+				Gamma:    600 * sim.Microsecond,
+				Rho:      0.1,
+				Seed:     4,
+			},
+			Processing: 600 * sim.Microsecond,
+			Warmup:     50 * sim.Millisecond,
+			Horizon:    450 * sim.Millisecond,
+			TraceGrant: rec.Grant,
+		}
+		res, err := driver.Run(cfg, experiments.Factory(a))
+		if err != nil {
+			log.Fatal(err)
+		}
+		from, until := cfg.Warmup, cfg.Horizon
+		fmt.Printf("=== %s — use rate %.1f%% ===\n", a, 100*rec.UseRate(from, until))
+		fmt.Print(rec.Gantt(from, until, width))
+		fmt.Printf("(waiting %.1f ms avg over %d CS)\n\n", res.Waiting.Mean, res.Grants)
+	}
+	fmt.Println("Read it like the paper's Figure 1: fewer dots = better use")
+	fmt.Println("of the five resources; the global lock leaves the most idle")
+	fmt.Println("time, dynamic scheduling (loans) fills gaps between conflicts.")
+}

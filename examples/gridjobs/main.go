@@ -1,0 +1,135 @@
+// Grid job co-allocation: the scenario that motivates the paper's
+// introduction. A computing grid has heterogeneous resources — compute
+// slots, licenses, scratch volumes, and one shared staging link. Jobs
+// need exclusive access to a *set* of them at once (AND-synchronization):
+// a render job needs a slot plus a license, an ingest job needs a slot
+// plus the staging link, and so on. Conflict patterns are unknown in
+// advance, which is exactly the drinking-philosophers regime the
+// algorithm targets.
+//
+// The example runs a small job mix on the live cluster and prints a
+// per-job timeline plus the protocol cost.
+//
+//	go run ./examples/gridjobs
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"mralloc"
+)
+
+// The grid's resource universe: dense identifiers with human names.
+const (
+	slot0 = iota // compute slots
+	slot1
+	slot2
+	slot3
+	licenseA // solver license
+	licenseB
+	scratch0 // scratch volumes
+	scratch1
+	staging // the single staging link
+	nRes
+)
+
+var resourceName = map[int]string{
+	slot0: "slot0", slot1: "slot1", slot2: "slot2", slot3: "slot3",
+	licenseA: "licA", licenseB: "licB",
+	scratch0: "scr0", scratch1: "scr1",
+	staging: "staging",
+}
+
+type job struct {
+	name  string
+	owner int   // submitting frontend node
+	needs []int // resources to co-allocate
+	work  time.Duration
+}
+
+func main() {
+	cluster, err := mralloc.NewCluster(mralloc.ClusterConfig{
+		Nodes:     4, // four scheduler frontends
+		Resources: nRes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	jobs := []job{
+		{"render-1", 0, []int{slot0, licenseA}, 8 * time.Millisecond},
+		{"render-2", 1, []int{slot1, licenseA}, 8 * time.Millisecond},
+		{"ingest-1", 2, []int{slot2, staging, scratch0}, 6 * time.Millisecond},
+		{"ingest-2", 3, []int{slot3, staging, scratch1}, 6 * time.Millisecond},
+		{"solver-1", 0, []int{slot2, licenseB}, 10 * time.Millisecond},
+		{"solver-2", 1, []int{slot3, licenseB}, 10 * time.Millisecond},
+		{"archive", 2, []int{scratch0, scratch1, staging}, 5 * time.Millisecond},
+		{"probe", 3, []int{slot0}, 2 * time.Millisecond},
+	}
+
+	type event struct {
+		job       string
+		granted   time.Duration
+		released  time.Duration
+		resources []int
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	var timeline []event
+
+	// Frontends submit their jobs sequentially; different frontends run
+	// concurrently — conflicts only where resource sets overlap.
+	byOwner := map[int][]job{}
+	for _, j := range jobs {
+		byOwner[j.owner] = append(byOwner[j.owner], j)
+	}
+	var wg sync.WaitGroup
+	for owner, list := range byOwner {
+		owner, list := owner, list
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, j := range list {
+				release, err := cluster.Acquire(context.Background(), owner, j.needs...)
+				if err != nil {
+					log.Printf("%s: %v", j.name, err)
+					return
+				}
+				g := time.Since(start)
+				time.Sleep(j.work)
+				r := time.Since(start)
+				release()
+				mu.Lock()
+				timeline = append(timeline, event{j.name, g, r, j.needs})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(timeline, func(i, k int) bool { return timeline[i].granted < timeline[k].granted })
+	fmt.Println("job       granted  released  resources")
+	fmt.Println("---------------------------------------------")
+	for _, e := range timeline {
+		names := make([]string, len(e.resources))
+		for i, r := range e.resources {
+			names[i] = resourceName[r]
+		}
+		fmt.Printf("%-9s %7.1fms %8.1fms  %v\n", e.job,
+			float64(e.granted.Microseconds())/1000,
+			float64(e.released.Microseconds())/1000, names)
+	}
+
+	var total int64
+	for _, n := range cluster.Stats() {
+		total += n
+	}
+	fmt.Printf("\n%d jobs co-allocated with %d protocol messages, no global lock.\n",
+		len(jobs), total)
+}

@@ -1,0 +1,62 @@
+// Package alg defines the service-provider interface every
+// multi-resource allocation algorithm in this repository implements.
+//
+// An algorithm instance is one Node per site. Nodes are message-driven
+// state machines: the runtime (a deterministic simulation in
+// internal/driver, or the goroutine-per-node runtime in internal/live)
+// calls Request/Release/Deliver, and the node calls back through its Env
+// to send messages and to announce that the critical section has been
+// entered. A node never blocks; "waiting" is simply the state between
+// Request and the Granted callback.
+package alg
+
+import (
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+)
+
+// Env is the runtime context a node acts through. Implementations must
+// deliver Send reliably and in FIFO order per ordered pair of nodes
+// (hypotheses 1–3 of the paper).
+type Env interface {
+	// ID is this node's site identifier (0..N-1).
+	ID() network.NodeID
+	// N is the number of sites.
+	N() int
+	// M is the number of resources.
+	M() int
+	// Now is the current (virtual or wall-clock) time.
+	Now() sim.Time
+	// Send transmits m to another site.
+	Send(to network.NodeID, m network.Message)
+	// Granted tells the runtime the node has entered its critical
+	// section: it holds exclusive access to every requested resource.
+	// It may be invoked synchronously from within Request or Deliver.
+	Granted()
+}
+
+// Node is one site of a multi-resource allocation protocol.
+//
+// The runtime guarantees the paper's hypothesis 4: Request is never
+// called while a previous request is unsatisfied or its critical
+// section unreleased, so at most N requests are pending system-wide.
+type Node interface {
+	// Attach binds the node to its environment. Called exactly once,
+	// before any other method.
+	Attach(env Env)
+	// Request asks for exclusive access to every resource in rs
+	// (rs must be non-empty). The node owns rs and must not mutate it.
+	Request(rs resource.Set)
+	// Release ends the critical section entered at the last Granted.
+	Release()
+	// Deliver hands the node a protocol message from another site.
+	Deliver(from network.NodeID, m network.Message)
+}
+
+// Factory builds the N nodes of one protocol instance for a system of
+// n sites and m resources. Implementations may return nodes that share
+// internal state only if the algorithm is explicitly centralized (the
+// shared-memory comparator); distributed algorithms must keep all
+// shared state inside tokens and messages.
+type Factory func(n, m int) []Node

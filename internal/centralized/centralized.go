@@ -1,0 +1,108 @@
+// Package centralized implements the paper's synchronization-free
+// comparator: "a distributed scheduling algorithm executed on a single
+// shared-memory machine with a global waiting queue and no network
+// communication" (§5.2). Its use-rate curve bounds what any distributed
+// algorithm could achieve, isolating synchronization cost.
+//
+// The scheduler is a greedy first-fit scan over a FIFO global queue: at
+// every arrival and every release it admits, in arrival order, each
+// waiting request whose resources are all free. Requests never wait for
+// anything but genuinely conflicting requests, and non-conflicting
+// requests overtake blocked ones freely (the concurrency property with
+// zero cost).
+package centralized
+
+import (
+	"mralloc/internal/alg"
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+)
+
+// Scheduler is the shared global state: the free-resource set and the
+// FIFO queue of waiting requests. One Scheduler is shared by all nodes
+// of an instance — that sharing is the point of this comparator.
+type Scheduler struct {
+	free  resource.Set
+	queue []waiting
+}
+
+type waiting struct {
+	node *Node
+	rs   resource.Set
+}
+
+// NewFactory returns an alg.Factory producing n nodes around one shared
+// scheduler over m resources.
+func NewFactory() alg.Factory {
+	return func(n, m int) []alg.Node {
+		s := &Scheduler{free: resource.NewSet(m)}
+		for r := 0; r < m; r++ {
+			s.free.Add(resource.ID(r))
+		}
+		nodes := make([]alg.Node, n)
+		for i := range nodes {
+			nodes[i] = &Node{sched: s}
+		}
+		return nodes
+	}
+}
+
+// dispatch admits every admissible waiting request in arrival order.
+func (s *Scheduler) dispatch() {
+	kept := s.queue[:0]
+	for _, w := range s.queue {
+		if w.rs.SubsetOf(s.free) {
+			s.free.DiffWith(w.rs)
+			w.node.grant(w.rs)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	// Zero dropped tail entries so the backing array does not pin them.
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = waiting{}
+	}
+	s.queue = kept
+}
+
+// QueueLen reports how many requests are waiting (for tests).
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Node is one site's view of the shared scheduler.
+type Node struct {
+	sched   *Scheduler
+	env     alg.Env
+	held    resource.Set
+	holding bool
+}
+
+// Attach implements alg.Node.
+func (n *Node) Attach(env alg.Env) { n.env = env }
+
+// Request implements alg.Node: enqueue and let the scheduler try.
+func (n *Node) Request(rs resource.Set) {
+	n.sched.queue = append(n.sched.queue, waiting{node: n, rs: rs})
+	n.sched.dispatch()
+}
+
+// grant records the admitted set; dispatch has already reserved it.
+func (n *Node) grant(rs resource.Set) {
+	n.held = rs
+	n.holding = true
+	n.env.Granted()
+}
+
+// Release implements alg.Node: free the resources and re-dispatch.
+func (n *Node) Release() {
+	if !n.holding {
+		panic("centralized: release without grant")
+	}
+	n.holding = false
+	n.sched.free.UnionWith(n.held)
+	n.sched.dispatch()
+}
+
+// Deliver implements alg.Node. The comparator exchanges no messages.
+func (n *Node) Deliver(network.NodeID, network.Message) {
+	panic("centralized: unexpected message")
+}

@@ -1,0 +1,123 @@
+package centralized
+
+import (
+	"testing"
+
+	"mralloc/internal/alg"
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+)
+
+// fakeEnv is a minimal Env for driving nodes directly.
+type fakeEnv struct {
+	id      network.NodeID
+	granted *[]network.NodeID
+}
+
+func (e *fakeEnv) ID() network.NodeID                   { return e.id }
+func (e *fakeEnv) N() int                               { return 4 }
+func (e *fakeEnv) M() int                               { return 8 }
+func (e *fakeEnv) Now() sim.Time                        { return 0 }
+func (e *fakeEnv) Send(network.NodeID, network.Message) { panic("no messages expected") }
+func (e *fakeEnv) Granted()                             { *e.granted = append(*e.granted, e.id) }
+
+func build(t *testing.T, n, m int) ([]alg.Node, *[]network.NodeID, *Scheduler) {
+	t.Helper()
+	nodes := NewFactory()(n, m)
+	var grants []network.NodeID
+	for i, nd := range nodes {
+		nd.Attach(&fakeEnv{id: network.NodeID(i), granted: &grants})
+	}
+	return nodes, &grants, nodes[0].(*Node).sched
+}
+
+func TestImmediateGrantWhenFree(t *testing.T) {
+	nodes, grants, sched := build(t, 2, 8)
+	nodes[0].Request(resource.FromIDs(8, 1, 2))
+	if len(*grants) != 1 || (*grants)[0] != 0 {
+		t.Fatalf("grants = %v", *grants)
+	}
+	if sched.QueueLen() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestConflictingWaitsUntilRelease(t *testing.T) {
+	nodes, grants, sched := build(t, 2, 8)
+	nodes[0].Request(resource.FromIDs(8, 1, 2))
+	nodes[1].Request(resource.FromIDs(8, 2, 3))
+	if len(*grants) != 1 {
+		t.Fatalf("conflicting request granted early: %v", *grants)
+	}
+	if sched.QueueLen() != 1 {
+		t.Fatalf("queue len = %d", sched.QueueLen())
+	}
+	nodes[0].Release()
+	if len(*grants) != 2 || (*grants)[1] != 1 {
+		t.Fatalf("grants after release = %v", *grants)
+	}
+}
+
+func TestNonConflictingOvertakes(t *testing.T) {
+	nodes, grants, _ := build(t, 3, 8)
+	nodes[0].Request(resource.FromIDs(8, 1))
+	nodes[1].Request(resource.FromIDs(8, 1)) // blocked behind node 0
+	nodes[2].Request(resource.FromIDs(8, 5)) // disjoint: must overtake
+	if len(*grants) != 2 || (*grants)[1] != 2 {
+		t.Fatalf("grants = %v, want node 2 overtaking", *grants)
+	}
+}
+
+func TestFIFOAmongConflicting(t *testing.T) {
+	nodes, grants, _ := build(t, 3, 8)
+	nodes[0].Request(resource.FromIDs(8, 1))
+	nodes[1].Request(resource.FromIDs(8, 1))
+	nodes[2].Request(resource.FromIDs(8, 1))
+	nodes[0].Release()
+	nodes[1].Release()
+	want := []network.NodeID{0, 1, 2}
+	if len(*grants) != 3 {
+		t.Fatalf("grants = %v", *grants)
+	}
+	for i, w := range want {
+		if (*grants)[i] != w {
+			t.Fatalf("grant order %v, want %v", *grants, want)
+		}
+	}
+}
+
+func TestReleaseCascade(t *testing.T) {
+	nodes, grants, _ := build(t, 4, 8)
+	nodes[0].Request(resource.FromIDs(8, 1, 2, 3))
+	nodes[1].Request(resource.FromIDs(8, 1))
+	nodes[2].Request(resource.FromIDs(8, 2))
+	nodes[3].Request(resource.FromIDs(8, 3))
+	if len(*grants) != 1 {
+		t.Fatalf("grants = %v", *grants)
+	}
+	nodes[0].Release() // all three waiters become admissible at once
+	if len(*grants) != 4 {
+		t.Fatalf("grants after cascade = %v", *grants)
+	}
+}
+
+func TestReleaseWithoutGrantPanics(t *testing.T) {
+	nodes, _, _ := build(t, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nodes[0].Release()
+}
+
+func TestUnexpectedMessagePanics(t *testing.T) {
+	nodes, _, _ := build(t, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nodes[0].Deliver(0, nil)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkFunctions(t *testing.T) {
+	v := []int64{0, 4, 0, 10, 1}
+	cases := []struct {
+		name string
+		fn   MarkFunc
+		want float64
+	}{
+		{"AvgNonZero", AvgNonZero, 5},
+		{"MaxNonZero", MaxNonZero, 10},
+		{"SumNonZero", SumNonZero, 15},
+		{"MinNonZero", MinNonZero, 1},
+	}
+	for _, c := range cases {
+		if got := c.fn(v); got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.name, v, got, c.want)
+		}
+	}
+}
+
+func TestMarkFunctionsOnEmptyVector(t *testing.T) {
+	zero := []int64{0, 0, 0}
+	for _, fn := range []MarkFunc{AvgNonZero, MaxNonZero, SumNonZero, MinNonZero} {
+		if got := fn(zero); got != 0 {
+			t.Errorf("mark of zero vector = %v", got)
+		}
+	}
+}
+
+// Property: every mark function is monotone in each counter entry —
+// the property hypothesis 6 (liveness) rests on, since counters only
+// grow as requests are issued.
+func TestMarkMonotoneProperty(t *testing.T) {
+	funcs := map[string]MarkFunc{
+		"AvgNonZero": AvgNonZero,
+		"MaxNonZero": MaxNonZero,
+		"SumNonZero": SumNonZero,
+		"MinNonZero": MinNonZero,
+	}
+	for name, fn := range funcs {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			prop := func(raw []uint8, idx uint8, bump uint8) bool {
+				if len(raw) == 0 {
+					return true
+				}
+				v := make([]int64, len(raw))
+				for i, x := range raw {
+					v[i] = int64(x) + 1 // strictly positive: a request's own entries
+				}
+				before := fn(v)
+				v[int(idx)%len(v)] += int64(bump)
+				return fn(v) >= before
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if o.threshold() != 1 {
+		t.Fatalf("default threshold = %d", o.threshold())
+	}
+	if o.mark()([]int64{2, 4}) != 3 {
+		t.Fatal("default mark is not AvgNonZero")
+	}
+	if !WithLoan().Loan || WithLoan().LoanThreshold != 1 {
+		t.Fatal("WithLoan preset wrong")
+	}
+	if WithoutLoan().Loan {
+		t.Fatal("WithoutLoan preset wrong")
+	}
+}

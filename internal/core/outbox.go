@@ -1,0 +1,105 @@
+package core
+
+import (
+	"mralloc/internal/alg"
+	"mralloc/internal/network"
+)
+
+// outbox implements the aggregation mechanism of §4.2.2: within one
+// activation (one Request/Release/Deliver call), messages to the same
+// destination are buffered and combined — request messages into one
+// reqBatch sharing the activation's visited set, responses (counters
+// and tokens) into one respBatch. With aggregation disabled every item
+// travels alone, which is ablation A2.
+type outbox struct {
+	reqs []destReq
+	cnts []destCnt
+	toks []destTok
+}
+
+type destReq struct {
+	to network.NodeID
+	r  request
+}
+type destCnt struct {
+	to network.NodeID
+	c  counterVal
+}
+type destTok struct {
+	to network.NodeID
+	t  *token
+}
+
+func (o *outbox) request(to network.NodeID, r request) {
+	o.reqs = append(o.reqs, destReq{to, r})
+}
+
+func (o *outbox) counter(to network.NodeID, c counterVal) {
+	o.cnts = append(o.cnts, destCnt{to, c})
+}
+
+func (o *outbox) token(to network.NodeID, t *token) {
+	o.toks = append(o.toks, destTok{to, t})
+}
+
+// flush transmits everything buffered. visited applies to all request
+// messages of this activation (§4.2.1); it must already include the
+// sending site.
+func (o *outbox) flush(env alg.Env, visited []network.NodeID, aggregate bool) {
+	if len(o.reqs) > 0 {
+		if aggregate {
+			var order []network.NodeID
+			groups := make(map[network.NodeID][]request, 4)
+			for _, x := range o.reqs {
+				if _, seen := groups[x.to]; !seen {
+					order = append(order, x.to)
+				}
+				groups[x.to] = append(groups[x.to], x.r)
+			}
+			for _, to := range order {
+				env.Send(to, reqBatch{Visited: visited, Reqs: groups[to]})
+			}
+		} else {
+			for _, x := range o.reqs {
+				env.Send(x.to, reqBatch{Visited: visited, Reqs: []request{x.r}})
+			}
+		}
+		o.reqs = o.reqs[:0]
+	}
+	if len(o.cnts) == 0 && len(o.toks) == 0 {
+		return
+	}
+	if aggregate {
+		var order []network.NodeID
+		groups := make(map[network.NodeID]*respBatch, 4)
+		add := func(to network.NodeID) *respBatch {
+			b, seen := groups[to]
+			if !seen {
+				b = &respBatch{}
+				groups[to] = b
+				order = append(order, to)
+			}
+			return b
+		}
+		for _, x := range o.cnts {
+			b := add(x.to)
+			b.Counters = append(b.Counters, x.c)
+		}
+		for _, x := range o.toks {
+			b := add(x.to)
+			b.Tokens = append(b.Tokens, x.t)
+		}
+		for _, to := range order {
+			env.Send(to, *groups[to])
+		}
+	} else {
+		for _, x := range o.cnts {
+			env.Send(x.to, respBatch{Counters: []counterVal{x.c}})
+		}
+		for _, x := range o.toks {
+			env.Send(x.to, respBatch{Tokens: []*token{x.t}})
+		}
+	}
+	o.cnts = o.cnts[:0]
+	o.toks = o.toks[:0]
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+)
+
+func TestPrecedesTotalOrder(t *testing.T) {
+	a := reqRef{Site: 1, ID: 9, Mark: 2.0}
+	b := reqRef{Site: 2, ID: 1, Mark: 3.0}
+	c := reqRef{Site: 2, ID: 7, Mark: 2.0} // tie with a on mark
+	if !a.precedes(b) || b.precedes(a) {
+		t.Fatal("mark ordering wrong")
+	}
+	if !a.precedes(c) || c.precedes(a) {
+		t.Fatal("site tie-break wrong (s1 ≺ s2)")
+	}
+	if a.precedes(a) {
+		t.Fatal("irreflexive violated")
+	}
+}
+
+// Property: precedes is a strict total order on distinct (Mark, Site)
+// pairs: exactly one of a/b, b/a holds, and it is transitive.
+func TestPrecedesProperties(t *testing.T) {
+	gen := func(r *rand.Rand) reqRef {
+		return reqRef{Site: network.NodeID(r.Intn(8)), ID: int64(r.Intn(100)), Mark: float64(r.Intn(6))}
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		sameAB := a.Mark == b.Mark && a.Site == b.Site
+		if !sameAB && a.precedes(b) == b.precedes(a) {
+			t.Fatalf("totality broken for %v %v", a, b)
+		}
+		if a.precedes(b) && b.precedes(c) && !a.precedes(c) {
+			t.Fatalf("transitivity broken for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestQueueInsertSortedAndDedup(t *testing.T) {
+	var q wqueue
+	if !q.Insert(reqRef{Site: 3, ID: 1, Mark: 5}) {
+		t.Fatal("first insert refused")
+	}
+	q.Insert(reqRef{Site: 1, ID: 1, Mark: 7})
+	q.Insert(reqRef{Site: 2, ID: 4, Mark: 5}) // tie on mark: site 2 < site 3
+	if q.Insert(reqRef{Site: 3, ID: 1, Mark: 5}) {
+		t.Fatal("duplicate (site,id) accepted")
+	}
+	if len(q) != 3 {
+		t.Fatalf("len = %d", len(q))
+	}
+	wantSites := []network.NodeID{2, 3, 1}
+	for i, w := range wantSites {
+		if q[i].Site != w {
+			t.Fatalf("queue order %v", q)
+		}
+	}
+	h, ok := q.Head()
+	if !ok || h.Site != 2 {
+		t.Fatalf("head = %v", h)
+	}
+	if p := q.PopHead(); p.Site != 2 || len(q) != 2 {
+		t.Fatalf("pop = %v, rest %v", p, q)
+	}
+}
+
+func TestQueueRemoveSiteAndContains(t *testing.T) {
+	var q wqueue
+	q.Insert(reqRef{Site: 1, ID: 1, Mark: 1})
+	q.Insert(reqRef{Site: 2, ID: 2, Mark: 2})
+	q.Insert(reqRef{Site: 1, ID: 3, Mark: 3})
+	if !q.contains(1, 3) || q.contains(1, 2) {
+		t.Fatal("contains wrong")
+	}
+	if n := q.RemoveSite(1); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if len(q) != 1 || q[0].Site != 2 {
+		t.Fatalf("queue after removal: %v", q)
+	}
+	if n := q.RemoveSite(9); n != 0 {
+		t.Fatal("removing absent site reported removals")
+	}
+}
+
+// Property: any insertion sequence yields a queue sorted by "/" and pops
+// drain in non-decreasing order.
+func TestQueueSortedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		var q wqueue
+		for i, v := range raw {
+			q.Insert(reqRef{
+				Site: network.NodeID(v % 7),
+				ID:   int64(i),
+				Mark: float64(v % 13),
+			})
+		}
+		var prev *reqRef
+		for len(q) > 0 {
+			h := q.PopHead()
+			if prev != nil && h.precedes(*prev) {
+				return false
+			}
+			cp := h
+			prev = &cp
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenSnapshotIndependent(t *testing.T) {
+	tok := newToken(3, 4)
+	tok.Counter = 9
+	tok.LastCS[2] = 5
+	tok.Queue.Insert(reqRef{Site: 1, ID: 1, Mark: 1})
+	s := tok.snapshot()
+	if s.Counter != 9 || s.LastCS[2] != 5 || s.R != 3 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if len(s.Queue) != 0 || s.Lender != network.None {
+		t.Fatal("snapshot must not carry queue or lender")
+	}
+	s.LastCS[2] = 99
+	if tok.LastCS[2] != 5 {
+		t.Fatal("snapshot aliases token stamps")
+	}
+}
+
+func TestTokenLoanHelpers(t *testing.T) {
+	tok := newToken(0, 4)
+	ms := resource.FromIDs(4, 1, 2)
+	ref := reqRef{Site: 2, ID: 7, Mark: 1}
+	tok.Loans = append(tok.Loans, loanEntry{Ref: ref, R: 0, Missing: ms})
+	if !tok.hasLoan(ref, 0) {
+		t.Fatal("hasLoan missed entry")
+	}
+	if tok.hasLoan(reqRef{Site: 2, ID: 8}, 0) || tok.hasLoan(ref, 1) {
+		t.Fatal("hasLoan false positive")
+	}
+	tok.Loans = append(tok.Loans, loanEntry{Ref: reqRef{Site: 3, ID: 1}, R: 0, Missing: ms})
+	tok.removeLoans(2)
+	if len(tok.Loans) != 1 || tok.Loans[0].Ref.Site != 3 {
+		t.Fatalf("loans after removal: %+v", tok.Loans)
+	}
+}
+
+func TestVisitedHelpers(t *testing.T) {
+	v := []network.NodeID{1, 4}
+	if !visitedContains(v, 4) || visitedContains(v, 2) {
+		t.Fatal("visitedContains wrong")
+	}
+	w := visitedAdd(v, 2)
+	if len(w) != 3 || !visitedContains(w, 2) {
+		t.Fatal("visitedAdd failed")
+	}
+	if len(v) != 2 {
+		t.Fatal("visitedAdd mutated input")
+	}
+	if len(visitedAdd(v, 1)) != 2 {
+		t.Fatal("visitedAdd duplicated member")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+)
+
+// reqRef identifies one critical-section request of one site, with the
+// mark A assigned to it. It is the element type of wQueue.
+type reqRef struct {
+	Site network.NodeID
+	ID   int64
+	Mark float64
+}
+
+// precedes implements the paper's total order "/": by mark, ties broken
+// by the site order ≺.
+func (a reqRef) precedes(b reqRef) bool {
+	if a.Mark != b.Mark {
+		return a.Mark < b.Mark
+	}
+	return a.Site < b.Site
+}
+
+func (a reqRef) String() string {
+	return fmt.Sprintf("(s%d#%d m=%.3f)", a.Site, a.ID, a.Mark)
+}
+
+// wqueue is a waiting queue sorted by "/" with (Site, ID) dedup — the
+// paper's wQueue. It is small (bounded by N pending requests), so a
+// sorted slice beats anything fancier.
+type wqueue []reqRef
+
+// Insert adds e keeping order; it reports false if an entry with the
+// same (Site, ID) is already present (pseudo-code line 154).
+func (q *wqueue) Insert(e reqRef) bool {
+	for _, x := range *q {
+		if x.Site == e.Site && x.ID == e.ID {
+			return false
+		}
+	}
+	i := 0
+	for i < len(*q) && (*q)[i].precedes(e) {
+		i++
+	}
+	*q = append(*q, reqRef{})
+	copy((*q)[i+1:], (*q)[i:])
+	(*q)[i] = e
+	return true
+}
+
+// Head returns the minimum entry; ok is false when empty.
+func (q wqueue) Head() (reqRef, bool) {
+	if len(q) == 0 {
+		return reqRef{}, false
+	}
+	return q[0], true
+}
+
+// PopHead removes and returns the minimum entry.
+func (q *wqueue) PopHead() reqRef {
+	h := (*q)[0]
+	*q = append((*q)[:0], (*q)[1:]...)
+	return h
+}
+
+// RemoveSite deletes every entry of the given site, reporting how many
+// were removed (used when lending and when returning a borrowed token).
+func (q *wqueue) RemoveSite(s network.NodeID) int {
+	kept := (*q)[:0]
+	removed := 0
+	for _, x := range *q {
+		if x.Site == s {
+			removed++
+		} else {
+			kept = append(kept, x)
+		}
+	}
+	*q = kept
+	return removed
+}
+
+// loanEntry is one pending loan request stored in a token's wLoan.
+type loanEntry struct {
+	Ref     reqRef
+	R       resource.ID
+	Missing resource.Set
+}
+
+// token is the unique movable state of one resource (pseudo-code type
+// Token): its counter, obsolescence stamps, waiting queue, pending
+// loans and lender.
+type token struct {
+	R        resource.ID
+	Counter  int64
+	LastReqC []int64 // per site: last counter-request id answered
+	LastCS   []int64 // per site: last critical-section id satisfied
+	Queue    wqueue
+	Loans    []loanEntry
+	Lender   network.NodeID // None unless currently lent
+}
+
+func newToken(r resource.ID, n int) *token {
+	return &token{
+		R:        r,
+		Counter:  1,
+		LastReqC: make([]int64, n),
+		LastCS:   make([]int64, n),
+		Lender:   network.None,
+	}
+}
+
+// snapshot returns a stale copy safe to keep after the authoritative
+// token is sent away: stamps and counter for conservative obsolescence
+// pruning, no queues (they travel with the token).
+func (t *token) snapshot() *token {
+	s := &token{
+		R:        t.R,
+		Counter:  t.Counter,
+		LastReqC: append([]int64(nil), t.LastReqC...),
+		LastCS:   append([]int64(nil), t.LastCS...),
+		Lender:   network.None,
+	}
+	return s
+}
+
+// hasLoan reports whether a loan with the same (Site, ID, R) is queued.
+func (t *token) hasLoan(ref reqRef, r resource.ID) bool {
+	for _, l := range t.Loans {
+		if l.Ref.Site == ref.Site && l.Ref.ID == ref.ID && l.R == r {
+			return true
+		}
+	}
+	return false
+}
+
+// removeLoans drops every loan entry of the given site.
+func (t *token) removeLoans(s network.NodeID) {
+	kept := t.Loans[:0]
+	for _, l := range t.Loans {
+		if l.Ref.Site != s {
+			kept = append(kept, l)
+		}
+	}
+	t.Loans = kept
+}

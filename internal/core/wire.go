@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+)
+
+// reqKind discriminates the three request message types of §4.2.
+type reqKind uint8
+
+const (
+	reqCnt  reqKind = iota // ask the current counter value
+	reqRes                 // ask the resource token
+	reqLoan                // ask a loan of the missing resources
+)
+
+func (k reqKind) String() string {
+	switch k {
+	case reqCnt:
+		return "ReqCnt"
+	case reqRes:
+		return "ReqRes"
+	case reqLoan:
+		return "ReqLoan"
+	}
+	return "Req?"
+}
+
+// request is one request travelling toward a token holder.
+type request struct {
+	Kind reqKind
+	R    resource.ID
+	Init network.NodeID
+	ID   int64
+	// Mark is A's value for reqRes/reqLoan.
+	Mark float64
+	// Missing is the full missing set of a reqLoan.
+	Missing resource.Set
+	// Single marks the §4.6.1 fast path: a reqCnt the root converts
+	// into a reqRes by applying A itself.
+	Single bool
+}
+
+func (r request) ref() reqRef { return reqRef{Site: r.Init, ID: r.ID, Mark: r.Mark} }
+
+func (r request) String() string {
+	return fmt.Sprintf("%v[r%d s%d#%d]", r.Kind, r.R, r.Init, r.ID)
+}
+
+// reqBatch aggregates request messages to one destination (§4.2.2).
+// All requests in a batch share the visited-sites set of §4.2.1.
+type reqBatch struct {
+	Visited []network.NodeID
+	Reqs    []request
+}
+
+// Kind implements network.Message.
+func (reqBatch) Kind() string { return "LASS.Request" }
+
+func visitedContains(v []network.NodeID, s network.NodeID) bool {
+	for _, x := range v {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// visitedAdd returns v ∪ {s} without mutating v (batches are shared).
+func visitedAdd(v []network.NodeID, s network.NodeID) []network.NodeID {
+	if visitedContains(v, s) {
+		return v
+	}
+	out := make([]network.NodeID, len(v)+1)
+	copy(out, v)
+	out[len(v)] = s
+	return out
+}
+
+// counterVal is one Counter reply: the value assigned to request ID of
+// the destination site for resource R. (The id is a hardening deviation;
+// see the package comment.)
+type counterVal struct {
+	R   resource.ID
+	Val int64
+	ID  int64
+}
+
+// respBatch aggregates response messages — counter replies and tokens —
+// to one destination (§4.2.2).
+type respBatch struct {
+	Counters []counterVal
+	Tokens   []*token
+}
+
+// Kind implements network.Message.
+func (respBatch) Kind() string { return "LASS.Response" }

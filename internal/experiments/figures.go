@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mralloc/internal/core"
+	"mralloc/internal/network"
+	"mralloc/internal/sim"
+)
+
+// fig5Algorithms are the five curves of Figure 5, in the paper's legend
+// order.
+var fig5Algorithms = []Algorithm{Incremental, Bouabdallah, WithoutLoan, WithLoan, SharedMem}
+
+// waitAlgorithms are the three bars of Figures 6 and 7 (the paper drops
+// the incremental algorithm — "the average waiting time was too high" —
+// and the shared-memory bound, which has no meaningful waiting time).
+var waitAlgorithms = []Algorithm{Bouabdallah, WithoutLoan, WithLoan}
+
+// Figure5 regenerates Figure 5: resource-use rate (percent) as a
+// function of the maximum request size φ, one column per algorithm.
+func Figure5(load Load, sc Scale) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 5 (%s load): resource use rate (%%) vs maximum request size φ", load),
+		Header: []string{"phi"},
+	}
+	for _, a := range fig5Algorithms {
+		t.Header = append(t.Header, string(a))
+	}
+	cells := make([][]Cell, len(PhiGrid))
+	errs := make([][]error, len(PhiGrid))
+	var jobs []job
+	for i, phi := range PhiGrid {
+		cells[i] = make([]Cell, len(fig5Algorithms))
+		errs[i] = make([]error, len(fig5Algorithms))
+		for j, a := range fig5Algorithms {
+			jobs = append(jobs, job{
+				point: Point{Alg: a, Phi: phi, Load: load},
+				out:   &cells[i][j],
+				err:   &errs[i][j],
+			})
+		}
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, phi := range PhiGrid {
+		row := []any{phi}
+		for j := range fig5Algorithms {
+			row = append(row, 100*cells[i][j].UseRate)
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// Figure6 regenerates Figure 6: average waiting time (ms) with standard
+// deviation at φ = 4, for the three token algorithms.
+func Figure6(load Load, sc Scale) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 6 (%s load): average waiting time (ms), φ = 4", load),
+		Header: []string{"algorithm", "wait_ms", "stddev_ms"},
+	}
+	cells := make([]Cell, len(waitAlgorithms))
+	errs := make([]error, len(waitAlgorithms))
+	var jobs []job
+	for i, a := range waitAlgorithms {
+		jobs = append(jobs, job{
+			point: Point{Alg: a, Phi: 4, Load: load},
+			out:   &cells[i],
+			err:   &errs[i],
+		})
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, a := range waitAlgorithms {
+		t.Add(string(a), cells[i].WaitMean, cells[i].WaitStd)
+	}
+	return t, nil
+}
+
+// Figure7 regenerates Figure 7: average waiting time (ms) by request
+// size bucket at φ = 80, for the three token algorithms.
+func Figure7(load Load, sc Scale) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Figure 7 (%s load): waiting time (ms) by request size, φ = 80", load),
+		Header: []string{"algorithm"},
+	}
+	for _, e := range Fig7Buckets {
+		t.Header = append(t.Header, fmt.Sprintf("%dres", e))
+	}
+	cells := make([]Cell, len(waitAlgorithms))
+	errs := make([]error, len(waitAlgorithms))
+	var jobs []job
+	for i, a := range waitAlgorithms {
+		jobs = append(jobs, job{
+			point: Point{Alg: a, Phi: 80, Load: load, WaitBuckets: Fig7Buckets},
+			out:   &cells[i],
+			err:   &errs[i],
+		})
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, a := range waitAlgorithms {
+		row := []any{string(a)}
+		for _, b := range cells[i].Buckets {
+			row = append(row, fmt.Sprintf("%.0f±%.0f", b.Summary.Mean, b.Summary.StdDev))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// ThresholdSweep is extension E1 (the paper's future work §6): the
+// impact of the loan threshold on use rate and waiting time, φ = 16,
+// high load.
+func ThresholdSweep(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Extension E1: loan threshold sweep (φ = 16, high load)",
+		Header: []string{"threshold", "use_rate_%", "wait_ms", "msg_per_cs"},
+		Notes:  []string{"threshold 0 row is the loan-disabled baseline"},
+	}
+	thresholds := []int{0, 1, 2, 3, 4, 6}
+	cells := make([]Cell, len(thresholds))
+	errs := make([]error, len(thresholds))
+	var jobs []job
+	for i, th := range thresholds {
+		opt := core.Options{Loan: th > 0, LoanThreshold: th}
+		jobs = append(jobs, job{
+			point: Point{Alg: WithLoan, Phi: 16, Load: HighLoad, CoreOptions: &opt},
+			out:   &cells[i],
+			err:   &errs[i],
+		})
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, th := range thresholds {
+		t.Add(th, 100*cells[i].UseRate, cells[i].WaitMean, cells[i].MsgPerGrant)
+	}
+	return t, nil
+}
+
+// MarkSweep is ablation A1: the scheduling policy A, φ = 16, high load.
+func MarkSweep(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Ablation A1: choice of the scheduling function A (φ = 16, high load)",
+		Header: []string{"A", "use_rate_%", "wait_ms", "wait_std_ms"},
+	}
+	marks := []struct {
+		name string
+		fn   core.MarkFunc
+	}{
+		{"avg-nonzero (paper)", core.AvgNonZero},
+		{"max", core.MaxNonZero},
+		{"sum", core.SumNonZero},
+		{"min-nonzero", core.MinNonZero},
+	}
+	cells := make([]Cell, len(marks))
+	errs := make([]error, len(marks))
+	var jobs []job
+	for i, mk := range marks {
+		opt := core.Options{Loan: true, LoanThreshold: 1, Mark: mk.fn}
+		jobs = append(jobs, job{
+			point: Point{Alg: WithLoan, Phi: 16, Load: HighLoad, CoreOptions: &opt},
+			out:   &cells[i],
+			err:   &errs[i],
+		})
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, mk := range marks {
+		t.Add(mk.name, 100*cells[i].UseRate, cells[i].WaitMean, cells[i].WaitStd)
+	}
+	return t, nil
+}
+
+// OptsSweep is ablation A2: the message-count impact of §4.2.2
+// aggregation and the §4.6 optimizations.
+func OptsSweep(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Ablation A2: §4.2.2/§4.6 optimizations (high load)",
+		Header: []string{"configuration", "phi", "msg_per_cs", "wait_ms"},
+	}
+	type variant struct {
+		name string
+		opt  core.Options
+	}
+	variants := []variant{
+		{"all on (paper)", core.Options{Loan: true, LoanThreshold: 1}},
+		{"no aggregation", core.Options{Loan: true, LoanThreshold: 1, DisableAggregation: true}},
+		{"no single-resource fast path", core.Options{Loan: true, LoanThreshold: 1, DisableSingleResOpt: true}},
+		{"no path shortcut", core.Options{Loan: true, LoanThreshold: 1, DisableShortcut: true}},
+		{"no forward stop", core.Options{Loan: true, LoanThreshold: 1, DisableForwardStop: true}},
+		{"all off", core.Options{Loan: true, LoanThreshold: 1, DisableAggregation: true, DisableSingleResOpt: true, DisableShortcut: true, DisableForwardStop: true}},
+	}
+	phis := []int{4, 16}
+	cells := make([][]Cell, len(variants))
+	errs := make([][]error, len(variants))
+	var jobs []job
+	for i, v := range variants {
+		cells[i] = make([]Cell, len(phis))
+		errs[i] = make([]error, len(phis))
+		for j, phi := range phis {
+			opt := v.opt
+			jobs = append(jobs, job{
+				point: Point{Alg: WithLoan, Phi: phi, Load: HighLoad, CoreOptions: &opt},
+				out:   &cells[i][j],
+				err:   &errs[i][j],
+			})
+		}
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, v := range variants {
+		for j, phi := range phis {
+			t.Add(v.name, phi, cells[i][j].MsgPerGrant, cells[i][j].WaitMean)
+		}
+	}
+	return t, nil
+}
+
+// CloudExperiment is extension E2 (the paper's conclusion): a two-zone
+// hierarchical topology with expensive inter-zone links, under a zoned
+// workload (90% of requests touch only home-zone resources — cloud
+// jobs are mostly local). The global control token of
+// Bouabdallah–Laforest crosses zones regardless of locality; the
+// counter mechanism only pays inter-zone latency on real cross-zone
+// conflicts.
+func CloudExperiment(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Extension E2: two-zone cloud topology (φ = 8, high load, 90% zone-local requests, γ_local = 0.1 ms, γ_remote = 5 ms)",
+		Header: []string{"algorithm", "use_rate_%", "wait_ms", "msg_per_cs"},
+	}
+	lat := network.Hierarchical{
+		Zone:   network.TwoZones(32),
+		Local:  network.Constant{D: 100 * sim.Microsecond},
+		Remote: network.Constant{D: 5 * sim.Millisecond},
+	}
+	algs := []Algorithm{Bouabdallah, WithoutLoan, WithLoan}
+	cells := make([]Cell, len(algs))
+	errs := make([]error, len(algs))
+	var jobs []job
+	for i, a := range algs {
+		jobs = append(jobs, job{
+			point: Point{Alg: a, Phi: 8, Load: HighLoad, Latency: lat, Zones: 2, LocalBias: 0.9},
+			out:   &cells[i],
+			err:   &errs[i],
+		})
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, a := range algs {
+		t.Add(string(a), 100*cells[i].UseRate, cells[i].WaitMean, cells[i].MsgPerGrant)
+	}
+	return t, nil
+}
+
+// MessageComplexity quantifies the §1–§2 discussion: messages per
+// critical section for every algorithm family — broadcast (Maddi),
+// M × Naimi–Tréhel (incremental), global control token (BL) and the
+// counter algorithm — across request sizes, at high load.
+func MessageComplexity(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Message complexity: protocol messages per critical section (high load)",
+		Header: []string{"algorithm"},
+		Notes: []string{
+			"Maddi broadcasts every request to all N-1 sites: Θ(x·N) per CS.",
+			"the counter algorithm batches per destination (§4.2.2), so one message may carry several requests",
+		},
+	}
+	phis := []int{1, 4, 16, 64}
+	for _, phi := range phis {
+		t.Header = append(t.Header, fmt.Sprintf("phi=%d", phi))
+	}
+	algs := []Algorithm{Maddi, Manager, Incremental, Bouabdallah, WithoutLoan, WithLoan}
+	cells := make([][]Cell, len(algs))
+	errs := make([][]error, len(algs))
+	var jobs []job
+	for i, a := range algs {
+		cells[i] = make([]Cell, len(phis))
+		errs[i] = make([]error, len(phis))
+		for j, phi := range phis {
+			jobs = append(jobs, job{
+				point: Point{Alg: a, Phi: phi, Load: HighLoad},
+				out:   &cells[i][j],
+				err:   &errs[i][j],
+			})
+		}
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, a := range algs {
+		row := []any{string(a)}
+		for j := range phis {
+			row = append(row, cells[i][j].MsgPerGrant)
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}
+
+// FairnessSweep checks that the dynamic scheduling of the counter
+// algorithm — which deliberately reorders requests — does not come at
+// the price of per-site fairness. Jain's index over per-site mean
+// waiting time and per-site throughput: 1.0 is perfectly fair.
+func FairnessSweep(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Fairness: Jain's index over per-site service (φ = 16, high load)",
+		Header: []string{"algorithm", "jain_wait", "jain_throughput", "wait_ms"},
+	}
+	algs := []Algorithm{Maddi, Manager, Incremental, Bouabdallah, WithoutLoan, WithLoan}
+	cells := make([]Cell, len(algs))
+	errs := make([]error, len(algs))
+	var jobs []job
+	for i, a := range algs {
+		jobs = append(jobs, job{
+			point: Point{Alg: a, Phi: 16, Load: HighLoad},
+			out:   &cells[i],
+			err:   &errs[i],
+		})
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, a := range algs {
+		t.Add(string(a), cells[i].JainWait, cells[i].JainGrants, cells[i].WaitMean)
+	}
+	return t, nil
+}
+
+// HotspotSweep is extension E5: Zipf-skewed resource popularity. The
+// paper's Figure 7 discussion notes that "a highly requested resource
+// will have a higher counter value", penalizing requests that touch hot
+// resources; this sweep measures how each algorithm degrades as a few
+// resources absorb most of the demand (skew s: resource r drawn with
+// weight (r+1)^-s).
+func HotspotSweep(sc Scale) (Table, error) {
+	t := Table{
+		Title:  "Extension E5: Zipf hot-spot workloads (φ = 8, high load)",
+		Header: []string{"algorithm", "skew", "use_rate_%", "wait_ms", "jain_wait"},
+	}
+	algs := []Algorithm{Bouabdallah, WithoutLoan, WithLoan}
+	skews := []float64{0, 0.8, 1.5}
+	cells := make([][]Cell, len(algs))
+	errs := make([][]error, len(algs))
+	var jobs []job
+	for i, a := range algs {
+		cells[i] = make([]Cell, len(skews))
+		errs[i] = make([]error, len(skews))
+		for j, sk := range skews {
+			jobs = append(jobs, job{
+				point: Point{Alg: a, Phi: 8, Load: HighLoad, Skew: sk},
+				out:   &cells[i][j],
+				err:   &errs[i][j],
+			})
+		}
+	}
+	if err := sweep(sc, jobs); err != nil {
+		return Table{}, err
+	}
+	for i, a := range algs {
+		for j, sk := range skews {
+			t.Add(string(a), sk, 100*cells[i][j].UseRate, cells[i][j].WaitMean, cells[i][j].JainWait)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// job is one cell evaluation in a sweep.
+type job struct {
+	point Point
+	out   *Cell
+	err   *error
+}
+
+// sweep evaluates cells concurrently: each cell is an independent
+// deterministic simulation, so the fan-out is embarrassingly parallel.
+// Results land in the caller-provided slots, keeping output order
+// independent of scheduling.
+func sweep(sc Scale, jobs []job) error {
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				cell, err := RunCell(j.point, sc)
+				*j.out = cell
+				*j.err = err
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, j := range jobs {
+		if *j.err != nil {
+			return *j.err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package incremental implements the paper's first comparator (§5):
+// one Naimi–Tréhel mutual exclusion instance per resource, with each
+// request acquiring its resources one at a time in ascending global
+// resource order. The total order makes deadlock impossible (no cycle
+// in the waits-for graph can respect a total order), but the approach
+// suffers the domino effect the paper describes: a process sits on
+// already-acquired resources, keeping them idle, while it waits in line
+// for the next one.
+package incremental
+
+import (
+	"fmt"
+
+	"mralloc/internal/alg"
+	"mralloc/internal/naimitrehel"
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+)
+
+// wireMsg tags a Naimi–Tréhel message with its resource instance.
+type wireMsg struct {
+	Inst resource.ID
+	M    naimitrehel.Msg
+}
+
+// Kind implements network.Message.
+func (w wireMsg) Kind() string {
+	if w.M.Type == naimitrehel.MsgRequest {
+		return "Inc.Request"
+	}
+	return "Inc.Token"
+}
+
+// Node is one site of the incremental algorithm.
+type Node struct {
+	env   alg.Env
+	insts []*naimitrehel.Instance
+
+	todo []resource.ID // resources still to acquire, ascending
+	held []resource.ID // resources acquired for the current CS
+	inCS bool
+}
+
+// NewFactory returns the factory for driver.Run. Site 0 is the elected
+// initial holder of every resource token.
+func NewFactory() alg.Factory {
+	return func(n, m int) []alg.Node {
+		nodes := make([]alg.Node, n)
+		for i := range nodes {
+			nodes[i] = &Node{}
+		}
+		return nodes
+	}
+}
+
+// Attach implements alg.Node, building the per-resource mutex endpoints.
+func (nd *Node) Attach(env alg.Env) {
+	nd.env = env
+	nd.insts = make([]*naimitrehel.Instance, env.M())
+	for r := 0; r < env.M(); r++ {
+		r := resource.ID(r)
+		send := func(to network.NodeID, m naimitrehel.Msg) {
+			env.Send(to, wireMsg{Inst: r, M: m})
+		}
+		nd.insts[r] = naimitrehel.New(env.ID(), 0, nil, send, func(any) { nd.acquired(r) })
+	}
+}
+
+// Request implements alg.Node: lock resources in ascending order, one
+// at a time (the incremental family's defining discipline).
+func (nd *Node) Request(rs resource.Set) {
+	if len(nd.todo) != 0 || nd.inCS {
+		panic(fmt.Sprintf("incremental: s%d requested while busy", nd.env.ID()))
+	}
+	nd.todo = rs.Members()
+	nd.held = nd.held[:0]
+	nd.next()
+}
+
+// next requests the smallest outstanding resource, or enters the CS.
+func (nd *Node) next() {
+	if len(nd.todo) == 0 {
+		nd.inCS = true
+		nd.env.Granted()
+		return
+	}
+	nd.insts[nd.todo[0]].Request()
+}
+
+// acquired is the per-instance grant callback.
+func (nd *Node) acquired(r resource.ID) {
+	if len(nd.todo) == 0 || nd.todo[0] != r {
+		panic(fmt.Sprintf("incremental: s%d acquired %d out of order (todo %v)", nd.env.ID(), r, nd.todo))
+	}
+	nd.held = append(nd.held, r)
+	nd.todo = nd.todo[1:]
+	nd.next()
+}
+
+// Release implements alg.Node, freeing every held mutex.
+func (nd *Node) Release() {
+	if !nd.inCS {
+		panic(fmt.Sprintf("incremental: s%d released outside CS", nd.env.ID()))
+	}
+	nd.inCS = false
+	for _, r := range nd.held {
+		nd.insts[r].Release(nil)
+	}
+	nd.held = nd.held[:0]
+}
+
+// Deliver implements alg.Node, demultiplexing to the right instance.
+func (nd *Node) Deliver(_ network.NodeID, m network.Message) {
+	w := m.(wireMsg)
+	nd.insts[w.Inst].Deliver(w.M)
+}

@@ -1,0 +1,380 @@
+// Package live runs multi-resource allocation nodes as real concurrent
+// processes: one goroutine per site, channels as reliable FIFO links.
+// The same alg.Node state machines that run under the deterministic
+// simulation run here unchanged, which is both a strong test (the race
+// detector sees real interleavings) and the basis of the public
+// in-process lock-manager API (package mralloc).
+//
+// Each site owns an event loop goroutine that serializes its protocol
+// activations — exactly the atomicity the algorithms assume. Message
+// queues are unbounded so that no cycle of full mailboxes can deadlock
+// the token exchange.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mralloc/internal/alg"
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+)
+
+// Config sizes a live cluster.
+type Config struct {
+	Nodes     int
+	Resources int
+	// Latency, when positive, delays every message delivery (FIFO per
+	// link is preserved because each link has one forwarding queue).
+	Latency time.Duration
+}
+
+// Cluster is a set of running protocol nodes.
+type Cluster struct {
+	cfg   Config
+	loops []*loop
+	start time.Time
+
+	stats   map[string]int64
+	statsMu sync.Mutex
+
+	closed  chan struct{}
+	closeMu sync.Mutex
+}
+
+// New builds and starts a cluster running the given algorithm.
+func New(cfg Config, factory alg.Factory) (*Cluster, error) {
+	if cfg.Nodes < 1 || cfg.Resources < 1 {
+		return nil, fmt.Errorf("live: need ≥1 node and ≥1 resource, got %d/%d", cfg.Nodes, cfg.Resources)
+	}
+	nodes := factory(cfg.Nodes, cfg.Resources)
+	if len(nodes) != cfg.Nodes {
+		return nil, fmt.Errorf("live: factory built %d nodes, want %d", len(nodes), cfg.Nodes)
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		start:  time.Now(),
+		stats:  make(map[string]int64),
+		closed: make(chan struct{}),
+	}
+	c.loops = make([]*loop, cfg.Nodes)
+	for i := range nodes {
+		c.loops[i] = newLoop(c, network.NodeID(i), nodes[i])
+	}
+	for i := range nodes {
+		nodes[i].Attach(&liveEnv{c: c, l: c.loops[i]})
+	}
+	for _, l := range c.loops {
+		go l.run()
+	}
+	return c, nil
+}
+
+// N reports the number of nodes.
+func (c *Cluster) N() int { return c.cfg.Nodes }
+
+// M reports the number of resources.
+func (c *Cluster) M() int { return c.cfg.Resources }
+
+// Stats snapshots the per-kind message counters.
+func (c *Cluster) Stats() map[string]int64 {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	out := make(map[string]int64, len(c.stats))
+	for k, v := range c.stats {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Cluster) count(kind string) {
+	c.statsMu.Lock()
+	c.stats[kind]++
+	c.statsMu.Unlock()
+}
+
+// Inspect runs fn against node id's protocol state inside that node's
+// event loop, so fn sees a quiesced snapshot without data races. It
+// reports false when the cluster is closed. fn must not block on other
+// cluster operations.
+func (c *Cluster) Inspect(id int, fn func(alg.Node)) bool {
+	if id < 0 || id >= c.cfg.Nodes {
+		return false
+	}
+	l := c.loops[id]
+	done := make(chan struct{})
+	if !l.post(cmdInspect{fn: fn, done: done}) {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+// Close stops every node loop. Outstanding Acquire calls return errors.
+// Close is idempotent.
+func (c *Cluster) Close() {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	close(c.closed)
+	for _, l := range c.loops {
+		l.stop()
+	}
+}
+
+// Acquire requests exclusive access to the given resources on behalf of
+// node id and blocks until granted or the context ends. On success the
+// returned function releases the critical section (it must be called
+// exactly once). If the context ends first, the grant — which cannot be
+// revoked mid-protocol — is released automatically when it arrives.
+//
+// A node serves one request at a time (the protocol's hypothesis 4);
+// concurrent Acquire calls on one node serialize.
+func (c *Cluster) Acquire(ctx context.Context, id int, resources ...int) (func(), error) {
+	if id < 0 || id >= c.cfg.Nodes {
+		return nil, fmt.Errorf("live: no node %d", id)
+	}
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("live: empty resource set")
+	}
+	rs := resource.NewSet(c.cfg.Resources)
+	for _, r := range resources {
+		if r < 0 || r >= c.cfg.Resources {
+			return nil, fmt.Errorf("live: no resource %d", r)
+		}
+		rs.Add(resource.ID(r))
+	}
+	l := c.loops[id]
+
+	// Serialize requests per node (hypothesis 4).
+	select {
+	case l.slot <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closed:
+		return nil, fmt.Errorf("live: cluster closed")
+	}
+
+	granted := make(chan struct{})
+	if !l.post(cmdRequest{rs: rs, granted: granted}) {
+		<-l.slot
+		return nil, fmt.Errorf("live: cluster closed")
+	}
+	select {
+	case <-granted:
+		var once sync.Once
+		release := func() {
+			once.Do(func() {
+				done := make(chan struct{})
+				l.post(cmdRelease{done: done})
+				<-done
+				<-l.slot
+			})
+		}
+		return release, nil
+	case <-ctx.Done():
+		// The protocol cannot abandon a request: wait for the grant in
+		// the background and give the resources straight back.
+		go func() {
+			<-granted
+			done := make(chan struct{})
+			l.post(cmdRelease{done: done})
+			<-done
+			<-l.slot
+		}()
+		return nil, ctx.Err()
+	case <-c.closed:
+		<-l.slot
+		return nil, fmt.Errorf("live: cluster closed")
+	}
+}
+
+// loop is one site's event loop: a single goroutine applying protocol
+// activations sequentially.
+type loop struct {
+	c    *Cluster
+	id   network.NodeID
+	node alg.Node
+
+	in   chan any      // envelopes and commands (unbounded via pump)
+	pump chan any      // external senders write here
+	slot chan struct{} // capacity 1: one outstanding request per node
+
+	granted chan struct{} // the in-flight request's grant signal
+	quit    chan struct{}
+	stopped sync.Once
+
+	outMu  sync.Mutex // guards outbox (latency mode only)
+	outbox map[network.NodeID]chan network.Message
+}
+
+type envelope struct {
+	from network.NodeID
+	msg  network.Message
+}
+
+type cmdRequest struct {
+	rs      resource.Set
+	granted chan struct{}
+}
+
+type cmdRelease struct {
+	done chan struct{}
+}
+
+type cmdInspect struct {
+	fn   func(alg.Node)
+	done chan struct{}
+}
+
+func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
+	l := &loop{
+		c:    c,
+		id:   id,
+		node: node,
+		in:   make(chan any),
+		pump: make(chan any),
+		slot: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	go l.pumpLoop()
+	return l
+}
+
+// pumpLoop turns the bounded pump channel into an unbounded in channel,
+// preserving order. Unbounded queues keep send-cycles (token exchanges)
+// from deadlocking on full mailboxes.
+func (l *loop) pumpLoop() {
+	var backlog []any
+	for {
+		var out chan any
+		var head any
+		if len(backlog) > 0 {
+			out = l.in
+			head = backlog[0]
+		}
+		select {
+		case v := <-l.pump:
+			backlog = append(backlog, v)
+		case out <- head:
+			backlog = backlog[1:]
+		case <-l.quit:
+			// pump is never closed — senders race Close and must not
+			// panic; they observe quit in post instead.
+			close(l.in)
+			return
+		}
+	}
+}
+
+// post enqueues an item, reporting false once the loop is stopping.
+func (l *loop) post(v any) bool {
+	select {
+	case l.pump <- v:
+		return true
+	case <-l.quit:
+		return false
+	}
+}
+
+func (l *loop) stop() {
+	l.stopped.Do(func() { close(l.quit) })
+}
+
+func (l *loop) run() {
+	for v := range l.in {
+		switch x := v.(type) {
+		case envelope:
+			l.node.Deliver(x.from, x.msg)
+		case cmdRequest:
+			l.granted = x.granted
+			l.node.Request(x.rs)
+		case cmdRelease:
+			l.node.Release()
+			close(x.done)
+		case cmdInspect:
+			x.fn(l.node)
+			close(x.done)
+		}
+	}
+}
+
+// onGranted runs inside the loop goroutine (via Env.Granted).
+func (l *loop) onGranted() {
+	if l.granted == nil {
+		panic(fmt.Sprintf("live: node %d granted without a pending request", l.id))
+	}
+	g := l.granted
+	l.granted = nil
+	close(g)
+}
+
+// liveEnv adapts a loop to the alg.Env contract.
+type liveEnv struct {
+	c *Cluster
+	l *loop
+}
+
+func (e *liveEnv) ID() network.NodeID { return e.l.id }
+func (e *liveEnv) N() int             { return e.c.cfg.Nodes }
+func (e *liveEnv) M() int             { return e.c.cfg.Resources }
+
+func (e *liveEnv) Now() sim.Time { return sim.Time(time.Since(e.c.start)) }
+
+// Granted runs inside the loop goroutine: the node just entered its CS.
+func (e *liveEnv) Granted() { e.l.onGranted() }
+
+func (e *liveEnv) Send(to network.NodeID, m network.Message) {
+	e.c.count(m.Kind())
+	dest := e.c.loops[to]
+	if e.c.cfg.Latency <= 0 {
+		dest.post(envelope{from: e.l.id, msg: m})
+		return
+	}
+	// Latency simulation: posting from this goroutine after a sleep
+	// would reorder messages, so the per-link FIFO is preserved by
+	// stamping a deadline and letting a dedicated goroutine deliver.
+	// Simplicity over throughput: one goroutine per in-flight message,
+	// ordering restored by the destination pump being per-sender FIFO
+	// only under zero latency — so latency mode routes through the
+	// sender's ordered outbox instead.
+	e.l.sendDelayed(e.c, to, m)
+}
+
+// sendDelayed delivers through a per-destination ordered queue so that
+// equal per-message delays keep FIFO order per link.
+func (l *loop) sendDelayed(c *Cluster, to network.NodeID, m network.Message) {
+	l.outMu.Lock()
+	if l.outbox == nil {
+		l.outbox = make(map[network.NodeID]chan network.Message)
+	}
+	ch, ok := l.outbox[to]
+	if !ok {
+		ch = make(chan network.Message, 1024)
+		l.outbox[to] = ch
+		dest := c.loops[to]
+		from := l.id
+		lat := c.cfg.Latency
+		go func() {
+			for msg := range ch {
+				time.Sleep(lat)
+				if !dest.post(envelope{from: from, msg: msg}) {
+					return // cluster closing
+				}
+			}
+		}()
+	}
+	l.outMu.Unlock()
+	ch <- m
+}

@@ -1,0 +1,132 @@
+package maddi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mralloc/internal/driver"
+	"mralloc/internal/sim"
+	"mralloc/internal/workload"
+)
+
+func cfg(seed int64) driver.Config {
+	return driver.Config{
+		Workload: workload.Config{
+			N: 8, M: 16, Phi: 6,
+			AlphaMin: 5 * sim.Millisecond,
+			AlphaMax: 35 * sim.Millisecond,
+			Gamma:    600 * sim.Microsecond,
+			Rho:      1,
+			Seed:     seed,
+		},
+		Warmup:  50 * sim.Millisecond,
+		Horizon: 2 * sim.Second,
+		Drain:   true,
+	}
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	res, err := driver.Run(cfg(1), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grants < 50 || res.Ungranted != 0 {
+		t.Fatalf("grants=%d ungranted=%d", res.Grants, res.Ungranted)
+	}
+}
+
+func TestManySeeds(t *testing.T) {
+	prop := func(seed int64) bool {
+		c := cfg(seed)
+		c.Horizon = 500 * sim.Millisecond
+		res, err := driver.Run(c, NewFactory())
+		return err == nil && res.Ungranted == 0 && res.Grants > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighContentionTinyPool(t *testing.T) {
+	c := cfg(2)
+	c.Workload.M = 4
+	c.Workload.Phi = 3
+	c.Workload.Rho = 0.1
+	res, err := driver.Run(c, NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ungranted != 0 || res.Grants == 0 {
+		t.Fatalf("grants=%d ungranted=%d", res.Grants, res.Ungranted)
+	}
+}
+
+// TestBroadcastComplexity pins the defining property: requests cost
+// Θ(N) messages per resource, so traffic per grant is far above the
+// tree-routed algorithms'. With N=8 and x̄=3.5, a grant should cost at
+// least x̄·(N−1)/2 request messages even with token reuse.
+func TestBroadcastComplexity(t *testing.T) {
+	res, err := driver.Run(cfg(3), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := res.Messages.ByKind["Maddi.Request"]
+	if reqs == 0 || res.Messages.ByKind["Maddi.Token"] == 0 {
+		t.Fatalf("messages = %v", res.Messages)
+	}
+	perGrant := float64(reqs) / float64(res.Grants)
+	if perGrant < 7 { // (N-1) per broadcast, ≥1 broadcast most grants
+		t.Fatalf("request messages per grant %.1f — broadcast missing?", perGrant)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := driver.Run(cfg(4), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := driver.Run(cfg(4), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Grants != b.Grants || a.Messages.Total != b.Messages.Total {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	a := prio{TS: 1, Site: 5}
+	b := prio{TS: 2, Site: 0}
+	c := prio{TS: 1, Site: 6}
+	if !a.precedes(b) || b.precedes(a) {
+		t.Fatal("timestamp order wrong")
+	}
+	if !a.precedes(c) || c.precedes(a) {
+		t.Fatal("site tie-break wrong")
+	}
+}
+
+func TestSingleResourceOnly(t *testing.T) {
+	c := cfg(5)
+	c.Workload.Phi = 1
+	res, err := driver.Run(c, NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ungranted != 0 || res.Grants == 0 {
+		t.Fatalf("grants=%d ungranted=%d", res.Grants, res.Ungranted)
+	}
+}
+
+func TestFullWidthRequests(t *testing.T) {
+	c := cfg(6)
+	c.Workload.M = 6
+	c.Workload.Phi = 6
+	res, err := driver.Run(c, NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ungranted != 0 {
+		t.Fatalf("%d starved with full-width requests", res.Ungranted)
+	}
+}

@@ -1,0 +1,123 @@
+package manager
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mralloc/internal/driver"
+	"mralloc/internal/sim"
+	"mralloc/internal/workload"
+)
+
+func cfg(seed int64) driver.Config {
+	return driver.Config{
+		Workload: workload.Config{
+			N: 8, M: 16, Phi: 6,
+			AlphaMin: 5 * sim.Millisecond,
+			AlphaMax: 35 * sim.Millisecond,
+			Gamma:    600 * sim.Microsecond,
+			Rho:      1,
+			Seed:     seed,
+		},
+		Warmup:  50 * sim.Millisecond,
+		Horizon: 2 * sim.Second,
+		Drain:   true,
+	}
+}
+
+func TestSafetyAndLiveness(t *testing.T) {
+	res, err := driver.Run(cfg(1), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grants < 50 || res.Ungranted != 0 {
+		t.Fatalf("grants=%d ungranted=%d", res.Grants, res.Ungranted)
+	}
+}
+
+func TestManySeeds(t *testing.T) {
+	prop := func(seed int64) bool {
+		c := cfg(seed)
+		c.Horizon = 500 * sim.Millisecond
+		res, err := driver.Run(c, NewFactory())
+		return err == nil && res.Ungranted == 0 && res.Grants > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighContentionTinyPool(t *testing.T) {
+	c := cfg(2)
+	c.Workload.M = 4
+	c.Workload.Phi = 3
+	c.Workload.Rho = 0.1
+	res, err := driver.Run(c, NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ungranted != 0 || res.Grants == 0 {
+		t.Fatalf("grants=%d ungranted=%d", res.Grants, res.Ungranted)
+	}
+}
+
+// TestSelfManagedShortcut: with N ≥ M every resource has a distinct
+// manager, and some requests include resources managed by the
+// requester itself — those must not generate messages.
+func TestSelfManagedShortcut(t *testing.T) {
+	c := cfg(3)
+	c.Workload.N = 16
+	c.Workload.M = 16
+	res, err := driver.Run(c, NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ungranted != 0 {
+		t.Fatalf("%d starved", res.Ungranted)
+	}
+	// Crude upper bound: 3 messages per (resource, grant) if nothing
+	// were local; self-managed traffic must keep us below it.
+	maxMsgs := 3.0 * 3.5 // 3 msgs × mean request size
+	if res.MsgPerGrant >= maxMsgs {
+		t.Fatalf("msg/grant %.2f suggests self-managed path is not local", res.MsgPerGrant)
+	}
+}
+
+func TestMessageKinds(t *testing.T) {
+	res, err := driver.Run(cfg(4), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"Mgr.Lock", "Mgr.Grant", "Mgr.Unlock"} {
+		if res.Messages.ByKind[k] == 0 {
+			t.Errorf("no %s traffic: %v", k, res.Messages)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := driver.Run(cfg(5), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := driver.Run(cfg(5), NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Grants != b.Grants || a.Messages.Total != b.Messages.Total {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestFullWidthRequests(t *testing.T) {
+	c := cfg(6)
+	c.Workload.M = 6
+	c.Workload.Phi = 6
+	res, err := driver.Run(c, NewFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ungranted != 0 {
+		t.Fatalf("%d starved", res.Ungranted)
+	}
+}

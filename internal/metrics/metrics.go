@@ -1,0 +1,222 @@
+// Package metrics implements the two measures of the paper's evaluation
+// (§5) plus supporting statistics:
+//
+//   - resource-use rate: the fraction of experiment time each resource
+//     spends inside somebody's critical section, averaged over the M
+//     resources (the colored area of the paper's Gantt diagrams);
+//   - request waiting time: the interval between issuing a request and
+//     entering the critical section, overall and bucketed by request
+//     size (Figures 6 and 7 report means and standard deviations).
+//
+// All accumulation happens in virtual time and is clipped to a
+// [warmup, horizon) measurement window so start-up transients do not
+// bias steady-state results.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"mralloc/internal/sim"
+)
+
+// Summary holds mean/deviation statistics of a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Accum accumulates samples for a Summary using Welford's algorithm,
+// which is numerically stable for long runs.
+type Accum struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one sample.
+func (a *Accum) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if !a.hasExtrema || x < a.min {
+		a.min = x
+	}
+	if !a.hasExtrema || x > a.max {
+		a.max = x
+	}
+	a.hasExtrema = true
+}
+
+// Summary finalizes the accumulated statistics.
+func (a *Accum) Summary() Summary {
+	s := Summary{Count: a.n, Mean: a.mean, Min: a.min, Max: a.max}
+	if a.n > 1 {
+		s.StdDev = math.Sqrt(a.m2 / float64(a.n-1))
+	}
+	return s
+}
+
+// UseRate tracks per-resource busy intervals and reports the aggregate
+// use rate over a measurement window.
+type UseRate struct {
+	m       int
+	busy    []sim.Time // accumulated busy time inside the window
+	since   []sim.Time // acquisition instant while held, else -1
+	warmup  sim.Time
+	horizon sim.Time
+}
+
+// NewUseRate creates a tracker for m resources measuring [warmup, horizon).
+func NewUseRate(m int, warmup, horizon sim.Time) *UseRate {
+	if horizon <= warmup {
+		panic("metrics: empty measurement window")
+	}
+	u := &UseRate{
+		m:       m,
+		busy:    make([]sim.Time, m),
+		since:   make([]sim.Time, m),
+		warmup:  warmup,
+		horizon: horizon,
+	}
+	for i := range u.since {
+		u.since[i] = -1
+	}
+	return u
+}
+
+// Acquire marks resource r busy from instant t.
+func (u *UseRate) Acquire(r int, t sim.Time) {
+	if u.since[r] >= 0 {
+		panic(fmt.Sprintf("metrics: resource %d acquired twice", r))
+	}
+	u.since[r] = t
+}
+
+// Release marks resource r free from instant t, accumulating the busy
+// span clipped to the measurement window.
+func (u *UseRate) Release(r int, t sim.Time) {
+	s := u.since[r]
+	if s < 0 {
+		panic(fmt.Sprintf("metrics: resource %d released while free", r))
+	}
+	u.since[r] = -1
+	u.accumulate(r, s, t)
+}
+
+func (u *UseRate) accumulate(r int, from, to sim.Time) {
+	if from < u.warmup {
+		from = u.warmup
+	}
+	if to > u.horizon {
+		to = u.horizon
+	}
+	if to > from {
+		u.busy[r] += to - from
+	}
+}
+
+// Rate finalizes the aggregate use rate in [0, 1]: total busy time over
+// M × window. Resources still held at the horizon count up to it.
+func (u *UseRate) Rate() float64 {
+	var total sim.Time
+	for r, b := range u.busy {
+		total += b
+		if u.since[r] >= 0 {
+			from, to := u.since[r], u.horizon
+			if from < u.warmup {
+				from = u.warmup
+			}
+			if to > from {
+				total += to - from
+			}
+		}
+	}
+	window := u.horizon - u.warmup
+	return float64(total) / (float64(window) * float64(u.m))
+}
+
+// PerResource returns each resource's individual use rate (for traces
+// and the fairness ablation).
+func (u *UseRate) PerResource() []float64 {
+	out := make([]float64, u.m)
+	window := float64(u.horizon - u.warmup)
+	for r, b := range u.busy {
+		extra := sim.Time(0)
+		if u.since[r] >= 0 {
+			from, to := u.since[r], u.horizon
+			if from < u.warmup {
+				from = u.warmup
+			}
+			if to > from {
+				extra = to - from
+			}
+		}
+		out[r] = float64(b+extra) / window
+	}
+	return out
+}
+
+// Jain computes Jain's fairness index (Σx)²/(n·Σx²) over non-negative
+// samples: 1 when all sites are served equally, 1/n when one site gets
+// everything. Used to check that the dynamic scheduling of the paper's
+// algorithm does not starve anyone in practice.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Waiting collects request waiting times, bucketed by request size the
+// way Figure 7 reports them.
+type Waiting struct {
+	overall Accum
+	buckets []Accum
+	edges   []int
+}
+
+// NewWaiting creates a collector whose buckets are defined by inclusive
+// lower edges, e.g. edges {1,17,33,49,65,80} reproduce Figure 7's
+// x-axis groups (a size falls in the last bucket whose edge ≤ size).
+func NewWaiting(edges []int) *Waiting {
+	if len(edges) == 0 {
+		edges = []int{1}
+	}
+	return &Waiting{buckets: make([]Accum, len(edges)), edges: edges}
+}
+
+// Observe records a request of the given size that waited w.
+func (w *Waiting) Observe(size int, wait sim.Time) {
+	ms := wait.Milliseconds()
+	w.overall.Add(ms)
+	b := 0
+	for i, e := range w.edges {
+		if size >= e {
+			b = i
+		}
+	}
+	w.buckets[b].Add(ms)
+}
+
+// Overall reports the all-sizes waiting summary (milliseconds).
+func (w *Waiting) Overall() Summary { return w.overall.Summary() }
+
+// Bucket reports the summary of the i-th size bucket (milliseconds).
+func (w *Waiting) Bucket(i int) Summary { return w.buckets[i].Summary() }
+
+// Edges exposes the bucket lower edges, aligned with Bucket indices.
+func (w *Waiting) Edges() []int { return w.edges }

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mralloc/internal/sim"
+)
+
+func TestAccumAgainstDirectFormulas(t *testing.T) {
+	samples := []float64{4, 7, 13, 16}
+	var a Accum
+	for _, x := range samples {
+		a.Add(x)
+	}
+	s := a.Summary()
+	if s.Count != 4 || s.Mean != 10 || s.Min != 4 || s.Max != 16 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of {4,7,13,16} is sqrt(30).
+	if math.Abs(s.StdDev-math.Sqrt(30)) > 1e-9 {
+		t.Fatalf("stddev = %v, want sqrt(30)", s.StdDev)
+	}
+}
+
+func TestAccumSingleAndEmpty(t *testing.T) {
+	var a Accum
+	if s := a.Summary(); s.Count != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	a.Add(5)
+	if s := a.Summary(); s.StdDev != 0 || s.Mean != 5 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestAccumMatchesTwoPass(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var a Accum
+		var sum float64
+		for _, v := range raw {
+			a.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		want := math.Sqrt(ss / float64(len(raw)-1))
+		s := a.Summary()
+		return math.Abs(s.Mean-mean) < 1e-6 && math.Abs(s.StdDev-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUseRateSimple(t *testing.T) {
+	u := NewUseRate(2, 0, 100)
+	u.Acquire(0, 10)
+	u.Release(0, 60) // 50 busy on r0
+	u.Acquire(1, 0)
+	u.Release(1, 100) // 100 busy on r1
+	if got := u.Rate(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.75", got)
+	}
+	per := u.PerResource()
+	if per[0] != 0.5 || per[1] != 1.0 {
+		t.Fatalf("per-resource = %v", per)
+	}
+}
+
+func TestUseRateWindowClipping(t *testing.T) {
+	u := NewUseRate(1, 100, 200)
+	u.Acquire(0, 50)
+	u.Release(0, 150) // only [100,150) counts
+	u.Acquire(0, 180)
+	u.Release(0, 300) // only [180,200) counts
+	u.Acquire(0, 250)
+	u.Release(0, 260) // fully outside, counts nothing
+	if got := u.Rate(); math.Abs(got-0.70) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.70", got)
+	}
+}
+
+func TestUseRateOpenIntervalAtHorizon(t *testing.T) {
+	u := NewUseRate(1, 0, 100)
+	u.Acquire(0, 90) // never released
+	if got := u.Rate(); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("rate = %v, want 0.10", got)
+	}
+	per := u.PerResource()
+	if math.Abs(per[0]-0.10) > 1e-12 {
+		t.Fatalf("per-resource = %v", per)
+	}
+}
+
+func TestUseRateMisusePanics(t *testing.T) {
+	u := NewUseRate(1, 0, 10)
+	u.Acquire(0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double acquire did not panic")
+			}
+		}()
+		u.Acquire(0, 2)
+	}()
+	u.Release(0, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("release while free did not panic")
+			}
+		}()
+		u.Release(0, 4)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty window did not panic")
+			}
+		}()
+		NewUseRate(1, 5, 5)
+	}()
+}
+
+// Property: the aggregate rate equals the mean of per-resource rates and
+// never leaves [0, 1] under random non-overlapping busy intervals.
+func TestUseRateProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const m, horizon = 4, 1000
+		u := NewUseRate(m, 100, horizon)
+		for res := 0; res < m; res++ {
+			t := sim.Time(r.Intn(200))
+			for t < horizon {
+				hold := sim.Time(1 + r.Intn(100))
+				u.Acquire(res, t)
+				u.Release(res, t+hold)
+				t += hold + sim.Time(1+r.Intn(100))
+			}
+		}
+		rate := u.Rate()
+		if rate < 0 || rate > 1 {
+			return false
+		}
+		var mean float64
+		for _, p := range u.PerResource() {
+			if p < 0 || p > 1 {
+				return false
+			}
+			mean += p
+		}
+		mean /= m
+		return math.Abs(mean-rate) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitingBuckets(t *testing.T) {
+	w := NewWaiting([]int{1, 17, 33, 49, 65, 80})
+	w.Observe(1, 10*sim.Millisecond)
+	w.Observe(16, 20*sim.Millisecond)  // still bucket 0 (edges are lower bounds)
+	w.Observe(17, 30*sim.Millisecond)  // bucket 1
+	w.Observe(80, 100*sim.Millisecond) // bucket 5
+	if got := w.Bucket(0); got.Count != 2 || got.Mean != 15 {
+		t.Fatalf("bucket 0 = %+v", got)
+	}
+	if got := w.Bucket(1); got.Count != 1 || got.Mean != 30 {
+		t.Fatalf("bucket 1 = %+v", got)
+	}
+	if got := w.Bucket(5); got.Count != 1 || got.Mean != 100 {
+		t.Fatalf("bucket 5 = %+v", got)
+	}
+	if got := w.Overall(); got.Count != 4 || got.Mean != 40 {
+		t.Fatalf("overall = %+v", got)
+	}
+	if len(w.Edges()) != 6 {
+		t.Fatal("edges accessor wrong")
+	}
+}
+
+func TestWaitingDefaultBucket(t *testing.T) {
+	w := NewWaiting(nil)
+	w.Observe(5, 2*sim.Millisecond)
+	if got := w.Bucket(0); got.Count != 1 || got.Mean != 2 {
+		t.Fatalf("default bucket = %+v", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if Jain(nil) != 1 || Jain([]float64{0, 0}) != 1 {
+		t.Fatal("degenerate Jain should be 1")
+	}
+	if got := Jain([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: %v", got)
+	}
+	if got := Jain([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single winner of 4: %v, want 0.25", got)
+	}
+	// Scale invariance.
+	a := Jain([]float64{1, 2, 3})
+	b := Jain([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatal("Jain not scale invariant")
+	}
+}
+
+func TestJainProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		j := Jain(xs)
+		n := float64(len(xs))
+		if len(xs) == 0 {
+			return j == 1
+		}
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

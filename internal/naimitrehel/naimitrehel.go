@@ -1,0 +1,176 @@
+// Package naimitrehel implements the Naimi–Tréhel token-based mutual
+// exclusion algorithm (ICDCS 1987), the O(log N)-message mutex the
+// paper's evaluation uses twice: M independent instances form the
+// incremental baseline, and a single instance manages the control token
+// of Bouabdallah–Laforest.
+//
+// The algorithm maintains two distributed structures: a dynamic tree of
+// "last" pointers (each node's guess at the last requester, along which
+// requests travel and which requests rewire behind themselves) and an
+// implicit queue of "next" pointers along which the token travels.
+//
+// An Instance is a pure state machine: the embedding protocol supplies
+// the send and granted callbacks and delivers messages, so instances can
+// be multiplexed by tagging Msg values with an instance index. The token
+// may carry an opaque payload on behalf of the embedder (the
+// Bouabdallah–Laforest control-token vector rides there).
+package naimitrehel
+
+import (
+	"fmt"
+
+	"mralloc/internal/network"
+)
+
+// MsgType discriminates the two protocol messages.
+type MsgType uint8
+
+// The protocol's message types.
+const (
+	MsgRequest MsgType = iota // forwarded along "last" pointers
+	MsgToken                  // sent directly to the next holder
+)
+
+// Msg is one Naimi–Tréhel message. The embedder wraps it (typically
+// adding an instance tag) into its own network.Message type.
+type Msg struct {
+	Type      MsgType
+	Requester network.NodeID // MsgRequest: who wants the token
+	Payload   any            // MsgToken: embedder state riding the token
+}
+
+// String renders the message for logs.
+func (m Msg) String() string {
+	if m.Type == MsgRequest {
+		return fmt.Sprintf("NT.Request(from s%d)", m.Requester)
+	}
+	return "NT.Token"
+}
+
+// Instance is one node's endpoint of one mutex instance.
+type Instance struct {
+	id   network.NodeID
+	last network.NodeID // probable last requester; None when self is root
+	next network.NodeID // who receives the token at release; None if nobody
+
+	hasToken   bool
+	requesting bool
+	inCS       bool
+	payload    any
+
+	send    func(to network.NodeID, m Msg)
+	granted func(payload any)
+}
+
+// New creates one endpoint. root is the initially elected token holder
+// (the same for every endpoint of the instance); it starts with the
+// token and the given initial payload. granted fires when the critical
+// section is entered and receives the payload carried by the token.
+func New(id, root network.NodeID, initial any,
+	send func(to network.NodeID, m Msg), granted func(payload any)) *Instance {
+	x := &Instance{
+		id:      id,
+		last:    root,
+		next:    network.None,
+		send:    send,
+		granted: granted,
+	}
+	if id == root {
+		x.last = network.None
+		x.hasToken = true
+		x.payload = initial
+	}
+	return x
+}
+
+// HasToken reports whether this endpoint currently holds the token.
+func (x *Instance) HasToken() bool { return x.hasToken }
+
+// InCS reports whether this endpoint is inside its critical section.
+func (x *Instance) InCS() bool { return x.inCS }
+
+// Requesting reports whether a request is outstanding.
+func (x *Instance) Requesting() bool { return x.requesting }
+
+// Payload returns the embedder state the token carried here. Only
+// meaningful while HasToken.
+func (x *Instance) Payload() any { return x.payload }
+
+// Request asks for the critical section. The instance must be idle.
+// The grant may fire synchronously when this node is the idle root.
+func (x *Instance) Request() {
+	if x.requesting || x.inCS {
+		panic(fmt.Sprintf("naimitrehel: s%d requested while busy", x.id))
+	}
+	x.requesting = true
+	if x.last == network.None {
+		// Idle root: it necessarily holds the token.
+		x.enter()
+		return
+	}
+	x.send(x.last, Msg{Type: MsgRequest, Requester: x.id})
+	x.last = network.None // this node becomes the new root
+}
+
+// Release leaves the critical section, handing the token (carrying
+// payload) to the next requester if one queued behind us.
+func (x *Instance) Release(payload any) {
+	if !x.inCS {
+		panic(fmt.Sprintf("naimitrehel: s%d released outside CS", x.id))
+	}
+	x.inCS = false
+	x.requesting = false
+	x.payload = payload
+	if x.next != network.None {
+		to := x.next
+		x.next = network.None
+		x.hasToken = false
+		pl := x.payload
+		x.payload = nil
+		x.send(to, Msg{Type: MsgToken, Payload: pl})
+	}
+}
+
+// Deliver processes one protocol message addressed to this endpoint.
+func (x *Instance) Deliver(m Msg) {
+	switch m.Type {
+	case MsgRequest:
+		j := m.Requester
+		if x.last == network.None {
+			// This node is the root: j queues directly behind it.
+			switch {
+			case x.requesting || x.inCS:
+				if x.next != network.None {
+					panic(fmt.Sprintf("naimitrehel: s%d already has next s%d", x.id, x.next))
+				}
+				x.next = j
+			case x.hasToken:
+				x.hasToken = false
+				pl := x.payload
+				x.payload = nil
+				x.send(j, Msg{Type: MsgToken, Payload: pl})
+			default:
+				// A root is either using/awaiting the token or holding
+				// it; anything else is a protocol bug.
+				panic(fmt.Sprintf("naimitrehel: s%d is root without token", x.id))
+			}
+		} else {
+			x.send(x.last, m)
+		}
+		x.last = j
+	case MsgToken:
+		if !x.requesting {
+			panic(fmt.Sprintf("naimitrehel: s%d received unsolicited token", x.id))
+		}
+		x.hasToken = true
+		x.payload = m.Payload
+		x.enter()
+	default:
+		panic("naimitrehel: unknown message type")
+	}
+}
+
+func (x *Instance) enter() {
+	x.inCS = true
+	x.granted(x.payload)
+}

@@ -1,0 +1,177 @@
+// Package network simulates the communication substrate assumed by the
+// paper (§3.1): a complete graph of reliable FIFO point-to-point links
+// between N nodes, with a configurable latency model γ. It also counts
+// traffic per message kind, which the evaluation harness reports as the
+// synchronization cost of each algorithm.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mralloc/internal/sim"
+)
+
+// NodeID identifies one process/site. Sites are densely numbered 0..N-1
+// and totally ordered by < (the paper's relation ≺, used to break ties
+// between request marks).
+type NodeID int
+
+// None is the nil site (the paper's "nil" father pointer / lender).
+const None NodeID = -1
+
+// Message is any protocol payload. Kind labels the message class for
+// statistics ("ReqBatch", "Token", "Inquire", ...); it must be constant
+// per concrete type.
+type Message interface {
+	Kind() string
+}
+
+// Handler consumes a delivered message on the destination node.
+type Handler func(from NodeID, m Message)
+
+// Network delivers messages between n nodes over the simulation engine.
+type Network struct {
+	eng *sim.Engine
+	lat LatencyModel
+	rng *rand.Rand
+
+	handlers []Handler
+	// lastArrival enforces FIFO per ordered pair under jittered latency:
+	// a message never arrives before one sent earlier on the same link.
+	lastArrival []sim.Time
+	n           int
+
+	// proc is the per-message service time at the receiving process;
+	// busyUntil serializes deliveries per destination. A zero proc
+	// models an infinitely fast receiver — under which a token that
+	// every request must traverse (a global lock) never queues, hiding
+	// precisely the synchronization cost the paper measures.
+	proc      sim.Time
+	busyUntil []sim.Time
+
+	stats Stats
+	// Trace, when non-nil, observes every send (for debugging and the
+	// Gantt/trace tooling).
+	Trace func(at sim.Time, from, to NodeID, m Message)
+}
+
+// New creates a network of n nodes over eng. The latency model may be
+// stochastic; rng drives it deterministically.
+func New(eng *sim.Engine, n int, lat LatencyModel, rng *rand.Rand) *Network {
+	if n <= 0 {
+		panic("network: need at least one node")
+	}
+	return &Network{
+		eng:         eng,
+		lat:         lat,
+		rng:         rng,
+		handlers:    make([]Handler, n),
+		lastArrival: make([]sim.Time, n*n),
+		busyUntil:   make([]sim.Time, n),
+		n:           n,
+		stats:       newStats(),
+	}
+}
+
+// SetProcessingDelay sets the per-message service time at receivers.
+// Deliveries to one node are serialized: a message is handled when the
+// node finishes the previous one, plus the service time.
+func (nw *Network) SetProcessingDelay(d sim.Time) {
+	if d < 0 {
+		panic("network: negative processing delay")
+	}
+	nw.proc = d
+}
+
+// N reports the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// Bind installs the delivery handler for node id. Every node must be
+// bound before the first send to it is delivered.
+func (nw *Network) Bind(id NodeID, h Handler) {
+	nw.handlers[id] = h
+}
+
+// Send schedules delivery of m from one node to another. Sending to
+// yourself is a protocol bug in every algorithm here, so it panics
+// rather than looping a message back.
+func (nw *Network) Send(from, to NodeID, m Message) {
+	if from == to {
+		panic(fmt.Sprintf("network: node %d sending %s to itself", from, m.Kind()))
+	}
+	if to < 0 || int(to) >= nw.n {
+		panic(fmt.Sprintf("network: send to invalid node %d", to))
+	}
+	nw.stats.count(m)
+	if nw.Trace != nil {
+		nw.Trace(nw.eng.Now(), from, to, m)
+	}
+	at := nw.eng.Now() + nw.lat.Latency(from, to, nw.rng)
+	link := int(from)*nw.n + int(to)
+	if at < nw.lastArrival[link] {
+		at = nw.lastArrival[link] // preserve FIFO under jitter
+	}
+	nw.lastArrival[link] = at
+	if nw.proc > 0 {
+		// The receiver is a single server: handling starts when both
+		// the message has arrived and the previous one is finished.
+		if at < nw.busyUntil[to] {
+			at = nw.busyUntil[to]
+		}
+		at += nw.proc
+		nw.busyUntil[to] = at
+	}
+	nw.eng.At(at, func() {
+		h := nw.handlers[to]
+		if h == nil {
+			panic(fmt.Sprintf("network: node %d has no handler", to))
+		}
+		h(from, m)
+	})
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats.clone() }
+
+// Stats aggregates message counts by kind.
+type Stats struct {
+	ByKind map[string]int64
+	Total  int64
+}
+
+func newStats() Stats { return Stats{ByKind: make(map[string]int64)} }
+
+func (s *Stats) count(m Message) {
+	s.ByKind[m.Kind()]++
+	s.Total++
+}
+
+func (s Stats) clone() Stats {
+	c := newStats()
+	c.Total = s.Total
+	for k, v := range s.ByKind {
+		c.ByKind[k] = v
+	}
+	return c
+}
+
+// Kinds returns the observed message kinds in sorted order.
+func (s Stats) Kinds() []string {
+	out := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders "total=N [Kind=c ...]" for logs and tables.
+func (s Stats) String() string {
+	out := fmt.Sprintf("total=%d", s.Total)
+	for _, k := range s.Kinds() {
+		out += fmt.Sprintf(" %s=%d", k, s.ByKind[k])
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package pmutex is a standalone prioritized distributed mutual
+// exclusion lock — the "simplified version of the Mueller algorithm"
+// (RTSS 1999) that the paper instantiates once per resource (§4). The
+// multi-resource algorithm in internal/core embeds this machinery with
+// its counter/loan extensions; this package exposes the bare substrate
+// for reuse and for studying it in isolation.
+//
+// Like Naimi–Tréhel, the nodes form a dynamic logical tree whose root
+// holds the token; unlike it, every request carries a priority, the
+// token carries a queue sorted by priority, and a waiting root yields
+// the token to a higher-priority newcomer (enqueueing itself). Requests
+// travel toward the root along father pointers; because the tree
+// mutates while requests are in flight, each request records the sites
+// it visited (a message whose next hop was already visited stops and
+// waits in that site's local history, replayed when the token arrives)
+// and the token carries per-site stamps that invalidate obsolete
+// replays — the §4.2.1 machinery, single-resource edition.
+package pmutex
+
+import (
+	"fmt"
+
+	"mralloc/internal/network"
+)
+
+// Priority orders requests; smaller wins. Ties break by site id (the
+// paper's ≺). The zero Priority is the highest.
+type Priority float64
+
+// entry is one queued request.
+type entry struct {
+	Site network.NodeID
+	ID   int64
+	Pri  Priority
+}
+
+func (a entry) precedes(b entry) bool {
+	if a.Pri != b.Pri {
+		return a.Pri < b.Pri
+	}
+	return a.Site < b.Site
+}
+
+// reqMsg travels toward the token holder.
+type reqMsg struct {
+	Site    network.NodeID
+	ID      int64
+	Pri     Priority
+	Visited []network.NodeID
+}
+
+// Kind implements network.Message.
+func (reqMsg) Kind() string { return "PMutex.Request" }
+
+// tokMsg transfers the token: the sorted queue plus last-served stamps.
+type tokMsg struct {
+	Queue  []entry
+	Served []int64
+}
+
+// Kind implements network.Message.
+func (tokMsg) Kind() string { return "PMutex.Token" }
+
+// State is the lock's request lifecycle.
+type State uint8
+
+// The lock states.
+const (
+	Idle State = iota
+	Waiting
+	Locked
+)
+
+// Node is one site's endpoint of the lock.
+type Node struct {
+	env alg
+
+	st     State
+	father network.NodeID // None when root (token here)
+	token  bool
+
+	id     int64
+	pri    Priority
+	queue  []entry // authoritative only while token present
+	served []int64
+	hist   []reqMsg // local history of forwarded requests (§4.2.1)
+
+	granted func()
+}
+
+// alg is the small environment surface the lock needs (a subset of
+// internal/alg.Env, kept local so the package stands alone).
+type alg interface {
+	ID() network.NodeID
+	N() int
+	Send(to network.NodeID, m network.Message)
+}
+
+// New creates an endpoint. root names the initial token holder, the
+// same at every site; granted fires on lock acquisition.
+func New(env alg, root network.NodeID, granted func()) *Node {
+	nd := &Node{env: env, father: root, granted: granted}
+	if env.ID() == root {
+		nd.father = network.None
+		nd.token = true
+		nd.served = make([]int64, env.N())
+	}
+	return nd
+}
+
+// State reports the lock's current lifecycle state.
+func (nd *Node) State() State { return nd.st }
+
+// HasToken reports whether the token is at this site.
+func (nd *Node) HasToken() bool { return nd.token }
+
+// Lock requests the critical section with the given priority. The node
+// must be Idle; the grant callback may fire synchronously.
+func (nd *Node) Lock(pri Priority) {
+	if nd.st != Idle {
+		panic(fmt.Sprintf("pmutex: s%d locked twice", nd.env.ID()))
+	}
+	nd.id++
+	nd.pri = pri
+	nd.st = Waiting
+	if nd.token {
+		nd.enter()
+		return
+	}
+	nd.env.Send(nd.father, reqMsg{
+		Site: nd.env.ID(), ID: nd.id, Pri: pri,
+		Visited: []network.NodeID{nd.env.ID()},
+	})
+}
+
+// Unlock releases the critical section, forwarding the token to the
+// highest-priority waiter if any.
+func (nd *Node) Unlock() {
+	if nd.st != Locked {
+		panic(fmt.Sprintf("pmutex: s%d unlocked while not locked", nd.env.ID()))
+	}
+	nd.st = Idle
+	nd.served[nd.env.ID()] = nd.id
+	nd.serveHead()
+}
+
+func (nd *Node) enter() {
+	nd.st = Locked
+	nd.granted()
+}
+
+// serveHead sends the token to the queue head, skipping obsolete
+// entries. The token stays put when nobody waits.
+func (nd *Node) serveHead() {
+	for len(nd.queue) > 0 {
+		head := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		if head.ID <= nd.served[head.Site] {
+			continue
+		}
+		nd.sendToken(head.Site)
+		return
+	}
+}
+
+func (nd *Node) sendToken(to network.NodeID) {
+	if to == nd.env.ID() {
+		panic("pmutex: sending token to self")
+	}
+	nd.token = false
+	nd.father = to
+	q, s := nd.queue, nd.served
+	nd.queue, nd.served = nil, nil
+	nd.env.Send(to, tokMsg{Queue: q, Served: s})
+}
+
+// insert adds e in priority order, deduplicating by (site, id).
+func (nd *Node) insert(e entry) {
+	for _, x := range nd.queue {
+		if x.Site == e.Site && x.ID == e.ID {
+			return
+		}
+	}
+	i := 0
+	for i < len(nd.queue) && nd.queue[i].precedes(e) {
+		i++
+	}
+	nd.queue = append(nd.queue, entry{})
+	copy(nd.queue[i+1:], nd.queue[i:])
+	nd.queue[i] = e
+}
+
+// Deliver processes a protocol message.
+func (nd *Node) Deliver(_ network.NodeID, m network.Message) {
+	switch msg := m.(type) {
+	case reqMsg:
+		nd.onRequest(msg)
+	case tokMsg:
+		nd.onToken(msg)
+	default:
+		panic(fmt.Sprintf("pmutex: unexpected message %T", m))
+	}
+}
+
+func (nd *Node) onRequest(msg reqMsg) {
+	e := entry{Site: msg.Site, ID: msg.ID, Pri: msg.Pri}
+	if nd.token {
+		if e.ID <= nd.served[e.Site] {
+			return // obsolete replay
+		}
+		switch nd.st {
+		case Idle:
+			nd.sendToken(e.Site)
+		case Waiting:
+			my := entry{Site: nd.env.ID(), ID: nd.id, Pri: nd.pri}
+			if e.precedes(my) {
+				// Priority preemption: yield, queueing ourselves.
+				nd.insert(my)
+				nd.sendToken(e.Site)
+			} else {
+				nd.insert(e)
+			}
+		case Locked:
+			nd.insert(e)
+		}
+		return
+	}
+	// Not the root: forward along the tree unless the next hop already
+	// saw this request; either way remember it for replay.
+	nd.hist = append(nd.hist, msg)
+	next := nd.father
+	for _, v := range msg.Visited {
+		if v == next {
+			return
+		}
+	}
+	fwd := msg
+	fwd.Visited = append(append([]network.NodeID(nil), msg.Visited...), nd.env.ID())
+	nd.env.Send(next, fwd)
+}
+
+func (nd *Node) onToken(msg tokMsg) {
+	if nd.token {
+		panic(fmt.Sprintf("pmutex: s%d received duplicate token", nd.env.ID()))
+	}
+	nd.token = true
+	nd.father = network.None
+	nd.queue = msg.Queue
+	nd.served = msg.Served
+	// Replay the local history (§4.2.1), then drop our own entries —
+	// the token being here serves us.
+	hist := nd.hist
+	nd.hist = nil
+	for _, h := range hist {
+		e := entry{Site: h.Site, ID: h.ID, Pri: h.Pri}
+		if e.Site != nd.env.ID() && e.ID > nd.served[e.Site] {
+			nd.insert(e)
+		}
+	}
+	q := nd.queue[:0]
+	for _, e := range nd.queue {
+		if e.Site != nd.env.ID() {
+			q = append(q, e)
+		}
+	}
+	nd.queue = q
+
+	if nd.st == Waiting {
+		// A queued request may still outrank us (we yielded before).
+		if len(nd.queue) > 0 {
+			head := nd.queue[0]
+			my := entry{Site: nd.env.ID(), ID: nd.id, Pri: nd.pri}
+			if head.precedes(my) && head.ID > nd.served[head.Site] {
+				nd.queue = nd.queue[1:]
+				nd.insert(my)
+				nd.sendToken(head.Site)
+				return
+			}
+		}
+		nd.enter()
+		return
+	}
+	// Token arrived while idle (a stale replay routed it here): pass it
+	// on or keep it.
+	nd.serveHead()
+}

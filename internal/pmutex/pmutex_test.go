@@ -1,0 +1,198 @@
+package pmutex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mralloc/internal/network"
+	"mralloc/internal/sim"
+)
+
+// harness wires N lock endpoints over the simulated network.
+type harness struct {
+	eng   *sim.Engine
+	nw    *network.Network
+	nodes []*Node
+	order []network.NodeID
+	inCS  network.NodeID
+	count int
+}
+
+type env struct {
+	h  *harness
+	id network.NodeID
+}
+
+func (e *env) ID() network.NodeID { return e.id }
+func (e *env) N() int             { return len(e.h.nodes) }
+func (e *env) Send(to network.NodeID, m network.Message) {
+	e.h.nw.Send(e.id, to, m)
+}
+
+func newHarness(t *testing.T, n int, hold sim.Time) *harness {
+	t.Helper()
+	h := &harness{eng: sim.New(), inCS: network.None}
+	h.nw = network.New(h.eng, n, network.Constant{D: sim.Millisecond}, nil)
+	h.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		id := network.NodeID(i)
+		h.nodes[i] = New(&env{h: h, id: id}, 0, func() {
+			if h.inCS != network.None {
+				t.Fatalf("s%d locked while s%d inside", id, h.inCS)
+			}
+			h.inCS = id
+			h.order = append(h.order, id)
+			h.eng.After(hold, func() {
+				h.inCS = network.None
+				h.count++
+				h.nodes[id].Unlock()
+			})
+		})
+		h.nw.Bind(id, h.nodes[id].Deliver)
+	}
+	return h
+}
+
+func TestRootLocksImmediately(t *testing.T) {
+	h := newHarness(t, 3, sim.Millisecond)
+	h.nodes[0].Lock(1)
+	if h.nodes[0].State() != Locked {
+		t.Fatal("idle root did not lock synchronously")
+	}
+	h.eng.Run()
+	if h.count != 1 {
+		t.Fatalf("count = %d", h.count)
+	}
+}
+
+func TestPriorityOrdersService(t *testing.T) {
+	h := newHarness(t, 4, 20*sim.Millisecond)
+	// Node 0 locks first (it is the root); 1, 2, 3 request while 0 is
+	// inside, with priorities that invert their arrival order.
+	h.eng.At(0, func() { h.nodes[0].Lock(5) })
+	h.eng.At(sim.Millisecond, func() { h.nodes[1].Lock(30) })
+	h.eng.At(2*sim.Millisecond, func() { h.nodes[2].Lock(10) })
+	h.eng.At(3*sim.Millisecond, func() { h.nodes[3].Lock(20) })
+	h.eng.Run()
+	want := []network.NodeID{0, 2, 3, 1} // by priority 5, 10, 20, 30
+	if len(h.order) != len(want) {
+		t.Fatalf("order = %v", h.order)
+	}
+	for i, w := range want {
+		if h.order[i] != w {
+			t.Fatalf("service order %v, want %v", h.order, want)
+		}
+	}
+}
+
+func TestLateHighPriorityOvertakesQueuedLow(t *testing.T) {
+	h := newHarness(t, 3, 100*sim.Millisecond)
+	// Token starts at node 0; node 2 takes it into a long CS. While it
+	// is locked, node 1 queues with low priority 40, and only then
+	// node 0 arrives with priority 2: despite requesting last, node 0
+	// must be served first when node 2 unlocks.
+	h.eng.At(0, func() { h.nodes[2].Lock(1) })
+	h.eng.At(20*sim.Millisecond, func() { h.nodes[1].Lock(40) })
+	h.eng.At(40*sim.Millisecond, func() { h.nodes[0].Lock(2) })
+	h.eng.Run()
+	want := []network.NodeID{2, 0, 1}
+	if len(h.order) != len(want) {
+		t.Fatalf("order = %v", h.order)
+	}
+	for i, w := range want {
+		if h.order[i] != w {
+			t.Fatalf("service order %v, want %v", h.order, want)
+		}
+	}
+}
+
+func TestTieBreakBySite(t *testing.T) {
+	h := newHarness(t, 3, 20*sim.Millisecond)
+	h.eng.At(0, func() { h.nodes[0].Lock(1) })
+	h.eng.At(sim.Millisecond, func() { h.nodes[2].Lock(7) })
+	h.eng.At(2*sim.Millisecond, func() { h.nodes[1].Lock(7) })
+	h.eng.Run()
+	want := []network.NodeID{0, 1, 2} // tie on 7 broken by site order
+	for i, w := range want {
+		if h.order[i] != w {
+			t.Fatalf("order %v, want %v", h.order, want)
+		}
+	}
+}
+
+// TestRandomWorkloadSafetyLiveness drives random lock/unlock cycles
+// and checks every request completes and exclusion never breaks (the
+// harness panics on overlap).
+func TestRandomWorkloadSafetyLiveness(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n, rounds = 5, 4
+		h := newHarness(t, n, 2*sim.Millisecond)
+		r := rand.New(rand.NewSource(seed))
+		var issue func(id network.NodeID, left int)
+		issue = func(id network.NodeID, left int) {
+			if left == 0 {
+				return
+			}
+			h.eng.After(sim.Time(r.Intn(10000))*sim.Microsecond, func() {
+				if h.nodes[id].State() != Idle {
+					issue(id, left)
+					return
+				}
+				h.nodes[id].Lock(Priority(r.Intn(50)))
+				issue(id, left-1)
+			})
+		}
+		for i := 0; i < n; i++ {
+			issue(network.NodeID(i), rounds)
+		}
+		h.eng.Run()
+		return h.count == n*rounds
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactlyOneToken(t *testing.T) {
+	h := newHarness(t, 5, 2*sim.Millisecond)
+	for i := 0; i < 5; i++ {
+		i := i
+		h.eng.At(sim.Time(i)*sim.Microsecond, func() { h.nodes[i].Lock(Priority(i)) })
+	}
+	for h.eng.Step() {
+		holders := 0
+		for _, nd := range h.nodes {
+			if nd.HasToken() {
+				holders++
+			}
+		}
+		if holders > 1 {
+			t.Fatal("two token holders")
+		}
+	}
+	if h.count != 5 {
+		t.Fatalf("count = %d", h.count)
+	}
+}
+
+func TestMisusePanics(t *testing.T) {
+	h := newHarness(t, 2, sim.Millisecond)
+	h.nodes[0].Lock(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double lock did not panic")
+			}
+		}()
+		h.nodes[0].Lock(2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlock while idle did not panic")
+			}
+		}()
+		h.nodes[1].Unlock()
+	}()
+}

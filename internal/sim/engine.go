@@ -1,0 +1,181 @@
+package sim
+
+// Event is a scheduled callback. The zero Event is not meaningful; events
+// are created through Engine.At and Engine.After and may be canceled.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+
+	index    int // position in the heap, -1 once popped
+	canceled bool
+}
+
+// At reports the instant the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Engine is a single-threaded discrete-event scheduler.
+type Engine struct {
+	now  Time
+	seq  uint64
+	heap []*Event
+
+	executed uint64
+}
+
+// New returns an engine with the clock at zero and an empty agenda.
+func New() *Engine {
+	return &Engine{heap: make([]*Event, 0, 1024)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far (a cheap progress and
+// complexity measure for tests and benchmarks).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at instant t. Scheduling in the past (t < Now)
+// is a programming error and panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic("sim: scheduling into the past")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes ev from the agenda. Canceling an already-executed or
+// already-canceled event is a no-op, so callers need not track firing.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+}
+
+// Step executes the earliest pending event, advancing the clock to it.
+// It reports whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := e.pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the agenda is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes every event scheduled at or before horizon, then
+// advances the clock to horizon. Events scheduled later stay pending.
+func (e *Engine) RunUntil(horizon Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// peek returns the earliest live event without removing it, skipping and
+// discarding canceled entries on the way.
+func (e *Engine) peek() *Event {
+	for len(e.heap) > 0 {
+		if ev := e.heap[0]; !ev.canceled {
+			return ev
+		}
+		e.pop()
+	}
+	return nil
+}
+
+// The heap is hand-rolled rather than container/heap to keep Event
+// pointers stable and avoid interface boxing on the hot path.
+
+func (e *Engine) less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) pop() *Event {
+	h := e.heap
+	n := len(h) - 1
+	top := h[0]
+	h[0], h[n] = h[n], h[0]
+	h[0].index = 0
+	e.heap = h[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (e *Engine) up(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].index, h[parent].index = i, parent
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && e.less(h[right], h[left]) {
+			smallest = right
+		}
+		if !e.less(h[smallest], h[i]) {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		h[i].index, h[smallest].index = i, smallest
+		i = smallest
+	}
+}

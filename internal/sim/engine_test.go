@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitsAndString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.5µs"},
+		{3 * Millisecond, "3.00ms"},
+		{1500 * Millisecond, "1.500s"},
+		{-3 * Millisecond, "-3.00ms"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+	if FromMillis(2.5) != 2500*Microsecond {
+		t.Errorf("FromMillis(2.5) = %v", FromMillis(2.5))
+	}
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Errorf("Seconds() = %v", (1500 * Millisecond).Seconds())
+	}
+	if (3 * Millisecond).Milliseconds() != 3 {
+		t.Errorf("Milliseconds() = %v", (3 * Millisecond).Milliseconds())
+	}
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineAfterChains(t *testing.T) {
+	e := New()
+	var fired []Time
+	var step func()
+	step = func() {
+		fired = append(fired, e.Now())
+		if len(fired) < 4 {
+			e.After(5, step)
+		}
+	}
+	e.After(5, step)
+	e.Run()
+	want := []Time{5, 10, 15, 20}
+	for i, w := range want {
+		if fired[i] != w {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	// Cancel after execution is a no-op too.
+	ev2 := e.At(20, func() {})
+	e.Run()
+	e.Cancel(ev2)
+	if e.Executed() != 1 {
+		t.Fatalf("Executed() = %d, want 1", e.Executed())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 25} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(15)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(15) ran %d events, want 3", len(got))
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now() = %v, want 15", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if e.Now() != 100 || e.Pending() != 0 {
+		t.Fatalf("after RunUntil(100): now=%v pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestEnginePanicsOnPastScheduling(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+// TestEngineHeapProperty drains random agendas and checks the pop order is
+// globally sorted by (time, insertion sequence).
+func TestEngineHeapProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		e := New()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		var got []stamp
+		for i, raw := range times {
+			at, i := Time(raw), i
+			e.At(at, func() { got = append(got, stamp{at, i}) })
+		}
+		e.Run()
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineCancelProperty cancels a random subset and checks exactly the
+// survivors run.
+func TestEngineCancelProperty(t *testing.T) {
+	prop := func(times []uint8, seed int64) bool {
+		e := New()
+		r := rand.New(rand.NewSource(seed))
+		ran := make(map[int]bool)
+		events := make([]*Event, len(times))
+		for i, raw := range times {
+			i := i
+			events[i] = e.At(Time(raw), func() { ran[i] = true })
+		}
+		canceled := make(map[int]bool)
+		for i := range events {
+			if r.Intn(2) == 0 {
+				e.Cancel(events[i])
+				canceled[i] = true
+			}
+		}
+		e.Run()
+		for i := range events {
+			if ran[i] == canceled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamIndependenceAndDeterminism(t *testing.T) {
+	a1 := Stream(42, "a")
+	a2 := Stream(42, "a")
+	b := Stream(42, "b")
+	var sameAB, sameA12 int
+	for i := 0; i < 100; i++ {
+		x, y, z := a1.Int63(), a2.Int63(), b.Int63()
+		if x == y {
+			sameA12++
+		}
+		if x == z {
+			sameAB++
+		}
+	}
+	if sameA12 != 100 {
+		t.Error("identical (seed,label) streams diverged")
+	}
+	if sameAB > 2 {
+		t.Errorf("streams with different labels collided %d/100 times", sameAB)
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if Exp(r, 0) != 0 || Exp(r, -5) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+	const mean = 10 * Millisecond
+	var sum Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := Exp(r, mean)
+		if v < 0 {
+			t.Fatal("negative sample")
+		}
+		sum += v
+	}
+	got := float64(sum) / n / float64(mean)
+	if got < 0.95 || got > 1.05 {
+		t.Fatalf("sample mean/true mean = %.3f, want ≈1", got)
+	}
+}

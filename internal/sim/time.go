@@ -1,0 +1,42 @@
+package sim
+
+import "fmt"
+
+// Time is an instant (or span) of virtual time, counted in nanoseconds
+// since the start of the simulation. A single type serves both instants
+// and durations; the arithmetic the kernel needs never mixes the two in
+// a way that would benefit from distinct types.
+type Time int64
+
+// Convenient units, mirroring time.Duration.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats t with an adaptive unit, e.g. "12.5ms" or "3.2s".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// FromMillis converts a floating-point millisecond count to Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }

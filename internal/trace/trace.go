@@ -1,0 +1,117 @@
+// Package trace records per-resource occupancy intervals and renders
+// them as ASCII Gantt diagrams — the visualization the paper uses in
+// Figures 1 and 4 to explain resource-use rate: one line per resource,
+// colored spans while some site's critical section holds the resource,
+// white space while it sits idle or is locked-but-unused.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+)
+
+// Span is one occupancy interval of one resource by one site.
+type Span struct {
+	R     resource.ID
+	Site  network.NodeID
+	From  sim.Time
+	Until sim.Time
+}
+
+// Recorder accumulates spans; plug its Grant method into
+// driver.Config.TraceGrant.
+type Recorder struct {
+	spans []Span
+	m     int
+}
+
+// NewRecorder creates a recorder for m resources.
+func NewRecorder(m int) *Recorder { return &Recorder{m: m} }
+
+// Grant records one completed critical section (driver.TraceGrant shape).
+func (rec *Recorder) Grant(s network.NodeID, rs resource.Set, granted, released sim.Time) {
+	rs.ForEach(func(r resource.ID) {
+		rec.spans = append(rec.spans, Span{R: r, Site: s, From: granted, Until: released})
+	})
+}
+
+// Spans returns the recorded spans sorted by (resource, start).
+func (rec *Recorder) Spans() []Span {
+	out := append([]Span(nil), rec.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].R != out[j].R {
+			return out[i].R < out[j].R
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// UseRate computes the fraction of [from, until) × resources covered by
+// spans (spans never overlap per resource — the safety property).
+func (rec *Recorder) UseRate(from, until sim.Time) float64 {
+	if until <= from {
+		return 0
+	}
+	var busy sim.Time
+	for _, s := range rec.spans {
+		lo, hi := s.From, s.Until
+		if lo < from {
+			lo = from
+		}
+		if hi > until {
+			hi = until
+		}
+		if hi > lo {
+			busy += hi - lo
+		}
+	}
+	return float64(busy) / (float64(until-from) * float64(rec.m))
+}
+
+// Gantt renders the window [from, until) into width columns, one row
+// per resource. Each busy cell shows the holding site as a letter
+// ('a' = site 0); '.' is idle. Sites past 'z' wrap with uppercase.
+func (rec *Recorder) Gantt(from, until sim.Time, width int) string {
+	if width < 1 || until <= from {
+		return ""
+	}
+	grid := make([][]byte, rec.m)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / float64(until-from)
+	for _, s := range rec.spans {
+		lo := int(float64(s.From-from) * scale)
+		hi := int(float64(s.Until-from) * scale)
+		if hi == lo {
+			hi = lo + 1 // spans shorter than a cell still show up
+		}
+		for c := lo; c < hi; c++ {
+			if c < 0 || c >= width {
+				continue
+			}
+			grid[s.R][c] = siteGlyph(s.Site)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: %v .. %v (%d cols, %v/col)\n", from, until, width,
+		sim.Time(float64(until-from)/float64(width)))
+	for r := range grid {
+		fmt.Fprintf(&b, "r%-3d |%s|\n", r, grid[r])
+	}
+	return b.String()
+}
+
+func siteGlyph(s network.NodeID) byte {
+	const letters = 26
+	if int(s) < letters {
+		return byte('a' + int(s))
+	}
+	return byte('A' + int(s)%letters)
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+)
+
+func TestRecorderSpansSorted(t *testing.T) {
+	rec := NewRecorder(3)
+	rec.Grant(1, resource.FromIDs(3, 2), 10, 20)
+	rec.Grant(0, resource.FromIDs(3, 0, 1), 5, 15)
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].R != 0 || spans[1].R != 1 || spans[2].R != 2 {
+		t.Fatalf("not sorted by resource: %v", spans)
+	}
+	if spans[0].Site != 0 || spans[2].Site != 1 {
+		t.Fatalf("sites wrong: %v", spans)
+	}
+}
+
+func TestUseRateMatchesHandComputation(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.Grant(0, resource.FromIDs(2, 0), 0, 50)   // r0 busy 50
+	rec.Grant(1, resource.FromIDs(2, 1), 25, 100) // r1 busy 75
+	got := rec.UseRate(0, 100)
+	if math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("use rate %v, want 0.625", got)
+	}
+	// Clipped window.
+	got = rec.UseRate(50, 100)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("clipped use rate %v, want 0.5", got)
+	}
+	if rec.UseRate(10, 10) != 0 {
+		t.Fatal("empty window should be 0")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.Grant(0, resource.FromIDs(2, 0), 0, 50)
+	rec.Grant(2, resource.FromIDs(2, 1), 50, 100)
+	g := rec.Gantt(0, 100, 10)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt:\n%s", g)
+	}
+	if !strings.Contains(lines[1], "aaaaa.....") {
+		t.Errorf("r0 row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".....ccccc") {
+		t.Errorf("r1 row = %q", lines[2])
+	}
+}
+
+func TestGanttShortSpanStillVisible(t *testing.T) {
+	rec := NewRecorder(1)
+	rec.Grant(1, resource.FromIDs(1, 0), 3, 4) // far below one cell
+	g := rec.Gantt(0, sim.Time(1000), 10)
+	if !strings.Contains(g, "b") {
+		t.Errorf("short span invisible:\n%s", g)
+	}
+}
+
+func TestGanttDegenerate(t *testing.T) {
+	rec := NewRecorder(1)
+	if rec.Gantt(0, 0, 10) != "" || rec.Gantt(0, 10, 0) != "" {
+		t.Fatal("degenerate windows should render empty")
+	}
+}
+
+func TestSiteGlyphWraps(t *testing.T) {
+	if siteGlyph(0) != 'a' || siteGlyph(25) != 'z' {
+		t.Fatal("lowercase range wrong")
+	}
+	if siteGlyph(26) != 'A' || siteGlyph(27) != 'B' {
+		t.Fatal("wrap to uppercase wrong")
+	}
+}

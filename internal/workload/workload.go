@@ -1,0 +1,208 @@
+// Package workload generates the synthetic request streams of the
+// paper's evaluation (§5.1).
+//
+// Each site alternates think time and critical sections. A new request
+// chooses a size x uniformly from [1, φ], then x distinct resources
+// uniformly from the M available. The critical-section duration grows
+// with x ("a request requiring a lot of resources is more likely to
+// have a longer critical section execution time"): α(x) interpolates
+// linearly from AlphaMin to AlphaMax as x goes from 1 to φ. Think time
+// β is exponential with mean Rho·(ᾱ+γ), which realizes the paper's
+// load ratio ρ = β/(α+γ).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+)
+
+// Config describes one experiment's workload.
+type Config struct {
+	N   int // number of sites
+	M   int // number of resources
+	Phi int // maximum request size φ (1..M)
+
+	AlphaMin sim.Time // CS duration at x = 1
+	AlphaMax sim.Time // CS duration at x = φ
+	Gamma    sim.Time // one-way network latency (for ρ conversion)
+	Rho      float64  // load ratio ρ = β/(α+γ); lower = heavier load
+
+	// Zones, when > 1, splits both sites and resources into that many
+	// equal contiguous zones and gives requests locality: with
+	// probability LocalBias a request draws all its resources from the
+	// issuing site's home zone, otherwise uniformly from everywhere.
+	// This is the workload of the hierarchical-topology experiment
+	// (extension E2): cloud jobs mostly touch local resources.
+	Zones     int
+	LocalBias float64
+
+	// Skew, when positive, biases resource popularity: resource r is
+	// drawn with weight (r+1)^(-Skew), a Zipf-like profile making low
+	// identifiers hot spots. Skew 0 is the paper's uniform choice; the
+	// hot-spot experiment (extension E5) uses ~1. Mutually exclusive
+	// with Zones > 1.
+	Skew float64
+
+	Seed int64
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("workload: N = %d, need > 0", c.N)
+	case c.M <= 0:
+		return fmt.Errorf("workload: M = %d, need > 0", c.M)
+	case c.Phi < 1 || c.Phi > c.M:
+		return fmt.Errorf("workload: φ = %d outside [1, M=%d]", c.Phi, c.M)
+	case c.AlphaMin <= 0 || c.AlphaMax < c.AlphaMin:
+		return fmt.Errorf("workload: need 0 < AlphaMin ≤ AlphaMax, got [%v, %v]", c.AlphaMin, c.AlphaMax)
+	case c.Rho < 0:
+		return fmt.Errorf("workload: ρ = %v, need ≥ 0", c.Rho)
+	case c.Zones < 0 || (c.Zones > 1 && (c.M%c.Zones != 0 || c.N%c.Zones != 0)):
+		return fmt.Errorf("workload: %d zones must divide N=%d and M=%d", c.Zones, c.N, c.M)
+	case c.LocalBias < 0 || c.LocalBias > 1:
+		return fmt.Errorf("workload: LocalBias = %v outside [0,1]", c.LocalBias)
+	case c.Skew < 0:
+		return fmt.Errorf("workload: Skew = %v, need ≥ 0", c.Skew)
+	case c.Skew > 0 && c.Zones > 1:
+		return fmt.Errorf("workload: Skew and Zones are mutually exclusive")
+	}
+	return nil
+}
+
+// Alpha is the critical-section duration of a request of size x. The
+// scale is global — x = 1 costs AlphaMin, x = M costs AlphaMax — so a
+// small-φ experiment has genuinely short critical sections, exactly the
+// regime where the paper's global-lock comparison bites ("a request
+// requiring a lot of resources is more likely to have a longer critical
+// section execution time", §5.1).
+func (c Config) Alpha(x int) sim.Time {
+	if c.M == 1 {
+		return c.AlphaMin
+	}
+	span := float64(c.AlphaMax - c.AlphaMin)
+	return c.AlphaMin + sim.Time(span*float64(x-1)/float64(c.M-1))
+}
+
+// MeanAlpha is the expected CS duration over the size distribution:
+// x is uniform on 1..φ and α is affine in x, so E[α] = α((1+φ)/2).
+func (c Config) MeanAlpha() sim.Time {
+	if c.M == 1 {
+		return c.AlphaMin
+	}
+	span := float64(c.AlphaMax - c.AlphaMin)
+	meanX := float64(1+c.Phi) / 2
+	return c.AlphaMin + sim.Time(span*(meanX-1)/float64(c.M-1))
+}
+
+// BetaMean is the mean think time implied by ρ: β = ρ·(ᾱ+γ).
+func (c Config) BetaMean() sim.Time {
+	return sim.Time(c.Rho * float64(c.MeanAlpha()+c.Gamma))
+}
+
+// Request is one generated critical-section request.
+type Request struct {
+	Resources resource.Set
+	Size      int
+	CS        sim.Time // critical-section duration α(x)
+}
+
+// Generator produces one site's request stream deterministically.
+type Generator struct {
+	cfg     Config
+	zone    int       // home zone of the site (0 when zoning is off)
+	weights []float64 // per-resource popularity weights (skewed mode)
+	sizes   *rand.Rand
+	picks   *rand.Rand
+	think   *rand.Rand
+}
+
+// NewGenerator builds the stream for one site. Distinct sites get
+// distinct independent streams derived from the run seed.
+func NewGenerator(cfg Config, site int) *Generator {
+	g := &Generator{
+		cfg:   cfg,
+		sizes: sim.Stream(cfg.Seed, fmt.Sprintf("wl/size/%d", site)),
+		picks: sim.Stream(cfg.Seed, fmt.Sprintf("wl/pick/%d", site)),
+		think: sim.Stream(cfg.Seed, fmt.Sprintf("wl/think/%d", site)),
+	}
+	if cfg.Zones > 1 {
+		g.zone = site / (cfg.N / cfg.Zones)
+	}
+	if cfg.Skew > 0 {
+		g.weights = make([]float64, cfg.M)
+		for r := range g.weights {
+			g.weights[r] = math.Pow(float64(r+1), -cfg.Skew)
+		}
+	}
+	return g
+}
+
+// sampleSkewed draws x distinct resources with probability proportional
+// to the Zipf weights, using the Efraimidis–Spirakis one-pass weighted
+// reservoir: each resource gets key u^(1/w); the x largest keys win.
+func (g *Generator) sampleSkewed(x int) resource.Set {
+	type kr struct {
+		key float64
+		r   resource.ID
+	}
+	top := make([]kr, 0, x) // kept sorted ascending by key
+	for r := 0; r < g.cfg.M; r++ {
+		k := math.Pow(g.picks.Float64(), 1/g.weights[r])
+		switch {
+		case len(top) < x:
+			// Insert at the end, bubble left into place.
+			top = append(top, kr{k, resource.ID(r)})
+			for i := len(top) - 1; i > 0 && top[i].key < top[i-1].key; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+		case k > top[0].key:
+			// Evict the minimum, bubble the newcomer right into place.
+			top[0] = kr{k, resource.ID(r)}
+			for i := 0; i+1 < len(top) && top[i].key > top[i+1].key; i++ {
+				top[i], top[i+1] = top[i+1], top[i]
+			}
+		}
+	}
+	s := resource.NewSet(g.cfg.M)
+	for _, e := range top {
+		s.Add(e.r)
+	}
+	return s
+}
+
+// Next draws the site's next request.
+func (g *Generator) Next() Request {
+	x := 1 + g.sizes.Intn(g.cfg.Phi)
+	if g.weights != nil {
+		return Request{Resources: g.sampleSkewed(x), Size: x, CS: g.cfg.Alpha(x)}
+	}
+	if g.cfg.Zones > 1 && g.picks.Float64() < g.cfg.LocalBias {
+		// A zone-local request: resources from the home block only.
+		block := g.cfg.M / g.cfg.Zones
+		if x > block {
+			x = block
+		}
+		local := resource.Sample(g.picks, block, x)
+		rs := resource.NewSet(g.cfg.M)
+		local.ForEach(func(r resource.ID) {
+			rs.Add(r + resource.ID(g.zone*block))
+		})
+		return Request{Resources: rs, Size: x, CS: g.cfg.Alpha(x)}
+	}
+	return Request{
+		Resources: resource.Sample(g.picks, g.cfg.M, x),
+		Size:      x,
+		CS:        g.cfg.Alpha(x),
+	}
+}
+
+// Think draws the pause before the site's next request (the paper's β).
+func (g *Generator) Think() sim.Time {
+	return sim.Exp(g.think, g.cfg.BetaMean())
+}

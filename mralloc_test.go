@@ -1,0 +1,163 @@
+package mralloc
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	rep, err := Simulate(SimConfig{Algorithm: CounterLoan, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grants == 0 || rep.UseRate <= 0 || rep.UseRate > 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.WaitMean < 0 || rep.MsgPerGrant <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSimulateAllAlgorithms(t *testing.T) {
+	for _, a := range []Algorithm{Incremental, BouabdallahLaforest, CounterNoLoan, CounterLoan, SharedMemory} {
+		rep, err := Simulate(SimConfig{
+			Algorithm: a, Nodes: 8, Resources: 16, MaxRequestSize: 4,
+			Duration: time.Second, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if rep.Grants == 0 {
+			t.Fatalf("%s made no progress", a)
+		}
+	}
+}
+
+func TestSimulateUnknownAlgorithm(t *testing.T) {
+	if _, err := Simulate(SimConfig{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSimulateHeadline(t *testing.T) {
+	run := func(a Algorithm) Report {
+		t.Helper()
+		rep, err := Simulate(SimConfig{
+			Algorithm: a, MaxRequestSize: 8, Rho: 0.5,
+			Duration: 2 * time.Second, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	counter := run(CounterLoan)
+	lock := run(BouabdallahLaforest)
+	if counter.UseRate <= lock.UseRate {
+		t.Errorf("counter use rate %.3f not above global lock %.3f", counter.UseRate, lock.UseRate)
+	}
+	if counter.WaitMean >= lock.WaitMean {
+		t.Errorf("counter waiting %v not below global lock %v", counter.WaitMean, lock.WaitMean)
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 4, Resources: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.N() != 4 || c.M() != 8 {
+		t.Fatalf("dims %d/%d", c.N(), c.M())
+	}
+	var wg sync.WaitGroup
+	for node := 0; node < 4; node++ {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				release, err := c.Acquire(context.Background(), node, node%8, (node+1)%8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range c.Stats() {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("no protocol traffic recorded")
+	}
+}
+
+func TestClusterRejectsBaselines(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 2, Resources: 2, Algorithm: SharedMemory}); err == nil {
+		t.Fatal("shared-memory live cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Nodes: 2, Resources: 2, Algorithm: Incremental}); err == nil {
+		t.Fatal("incremental live cluster accepted")
+	}
+}
+
+func TestClusterCustomThreshold(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 3, Resources: 6, LoanThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	release, err := c.Acquire(context.Background(), 2, 0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+func TestLoanStatsRaceFree(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 4, Resources: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for node := 0; node < 4; node++ {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				release, err := c.Acquire(context.Background(), node, node%6, (node+1)%6, (node+2)%6)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				release()
+			}
+		}()
+	}
+	// Sample stats while traffic is in flight: must be race-free.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			s := c.LoanStats()
+			if s.Asked < 0 || s.Granted > s.Asked+1 {
+				t.Errorf("implausible stats %+v", s)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	final := c.LoanStats()
+	if final.Granted > final.Asked {
+		t.Fatalf("granted %d > asked %d", final.Granted, final.Asked)
+	}
+}
