@@ -1,0 +1,65 @@
+// Command bench runs the reproducible performance grid of
+// internal/bench and writes the BENCH report JSON.
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # full grid -> BENCH_1.json
+//	go run ./cmd/bench -out other.json
+//	go run ./cmd/bench -run sim/n32     # scenario name filter (substring)
+//	go run ./cmd/bench -capture-baseline # print Go literal for baseline.go
+//
+// The scenario grid, seeds, and protocol metrics (msg/cs, grants,
+// events) are deterministic; ns/op and allocs/op depend on the machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mralloc/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output report path")
+	filter := flag.String("run", "", "only run scenarios whose name contains this substring")
+	capture := flag.Bool("capture-baseline", false, "print the measurements as a Go literal for baseline.go instead of writing the report")
+	flag.Parse()
+
+	var results []bench.Result
+	for _, s := range bench.Grid() {
+		if *filter != "" && !strings.Contains(s.Name, *filter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", s.Name)
+		results = append(results, bench.Measure(s))
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no scenario matched")
+		os.Exit(1)
+	}
+
+	if *capture {
+		fmt.Println("var Baseline = []Result{")
+		for _, r := range results {
+			fmt.Printf("\t{Scenario: %q, NsPerOp: %d, AllocsPerOp: %d, BytesPerOp: %d, MsgPerCS: %v, GrantsPerOp: %d, EventsPerOp: %d, CSPerSec: %v},\n",
+				r.Scenario, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.MsgPerCS, r.GrantsPerOp, r.EventsPerOp, r.CSPerSec)
+		}
+		fmt.Println("}")
+		return
+	}
+
+	report := bench.NewReport(results)
+	data, err := report.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Print(report.Table())
+}

@@ -1,0 +1,3 @@
+module mralloc
+
+go 1.24

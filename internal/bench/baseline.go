@@ -1,0 +1,24 @@
+package bench
+
+// Baseline is the frozen pre-optimization measurement of the grid,
+// captured with `go run ./cmd/bench -capture-baseline` at the revision
+// that introduced the harness — before the event pool, the pooled
+// network deliveries, the map-free outbox, the Floyd sampler, and the
+// batched live mailboxes landed. cmd/bench regenerates the Current
+// column of BENCH_*.json against these rows; do not edit them by hand.
+var Baseline = []Result{
+	{Scenario: "sim/n32/noloan", NsPerOp: 9170633, AllocsPerOp: 71658, BytesPerOp: 5936503, MsgPerCS: 55.747, GrantsPerOp: 162, EventsPerOp: 9384, CSPerSec: 17665.084},
+	{Scenario: "sim/n32/loan", NsPerOp: 10217135, AllocsPerOp: 80092, BytesPerOp: 6477867, MsgPerCS: 56.497, GrantsPerOp: 177, EventsPerOp: 10365, CSPerSec: 17323.839},
+	{Scenario: "sim/n128/noloan", NsPerOp: 13143091, AllocsPerOp: 60337, BytesPerOp: 8893083, MsgPerCS: 91.988, GrantsPerOp: 82, EventsPerOp: 7810, CSPerSec: 6239.019},
+	{Scenario: "sim/n128/loan", NsPerOp: 13906981, AllocsPerOp: 62726, BytesPerOp: 9059680, MsgPerCS: 93.94, GrantsPerOp: 83, EventsPerOp: 8082, CSPerSec: 5968.226},
+	{Scenario: "sim/n512/noloan", NsPerOp: 35462423, AllocsPerOp: 91314, BytesPerOp: 22049051, MsgPerCS: 2768.25, GrantsPerOp: 4, EventsPerOp: 11241, CSPerSec: 112.795},
+	{Scenario: "sim/n512/loan", NsPerOp: 36545390, AllocsPerOp: 91352, BytesPerOp: 22050111, MsgPerCS: 2768.75, GrantsPerOp: 4, EventsPerOp: 11243, CSPerSec: 109.453},
+	{Scenario: "sim/n32/zones4", NsPerOp: 11213787, AllocsPerOp: 86117, BytesPerOp: 6943684, MsgPerCS: 35.674, GrantsPerOp: 276, EventsPerOp: 10406, CSPerSec: 24612.56},
+	{Scenario: "sim/n32/skew", NsPerOp: 7983854, AllocsPerOp: 48384, BytesPerOp: 4264208, MsgPerCS: 50.175, GrantsPerOp: 114, EventsPerOp: 5962, CSPerSec: 14278.818},
+	{Scenario: "micro/engine/schedule", NsPerOp: 3355789, AllocsPerOp: 65542, BytesPerOp: 3155351, EventsPerOp: 65536},
+	{Scenario: "micro/engine/cancel", NsPerOp: 16097907, AllocsPerOp: 65552, BytesPerOp: 5913856, EventsPerOp: 65536},
+	{Scenario: "micro/workload/next", NsPerOp: 282, AllocsPerOp: 2, BytesPerOp: 656},
+	{Scenario: "micro/resource/sample", NsPerOp: 320, AllocsPerOp: 2, BytesPerOp: 656},
+	{Scenario: "live/acquire/n8", NsPerOp: 8668, AllocsPerOp: 47, BytesPerOp: 1760},
+	{Scenario: "live/acquire/n8/parallel", NsPerOp: 17414, AllocsPerOp: 68, BytesPerOp: 3628},
+}

@@ -1,0 +1,270 @@
+// Package bench is the reproducible performance harness behind
+// BENCH_*.json. It defines a fixed scenario grid over the simulation
+// kernel, the LASS hot paths, and the live goroutine runtime, measures
+// each cell with testing.Benchmark, and renders the results against the
+// frozen pre-optimization baseline (baseline.go).
+//
+// The grid is deterministic: scenario names, workload seeds, and the
+// protocol-level metrics (messages per critical section, grants,
+// simulator events) reproduce exactly across runs. Wall-clock metrics
+// (ns/op, allocs/op, CS/s) vary with the machine; the baseline column
+// records them once, on the same machine state as the first optimized
+// run, so the ratios in the report are meaningful.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"mralloc/internal/core"
+	"mralloc/internal/driver"
+	"mralloc/internal/experiments"
+	"mralloc/internal/live"
+	"mralloc/internal/resource"
+	"mralloc/internal/sim"
+	"mralloc/internal/workload"
+
+	"context"
+)
+
+// Scenario is one cell of the benchmark grid.
+type Scenario struct {
+	// Name is the stable identifier, e.g. "sim/n128/loan".
+	Name string
+	// Run executes the scenario under b and attaches extra metrics via
+	// b.ReportMetric (msg_per_cs, grants_per_op, events_per_op).
+	Run func(b *testing.B)
+}
+
+// simWorkload is the paper-standard workload at the given cluster size.
+// M, φ, α, γ and ρ are the high-load constants of §5.1; only N varies
+// across the grid.
+func simWorkload(n int) workload.Config {
+	return workload.Config{
+		N: n, M: 80, Phi: 16,
+		AlphaMin: 5 * sim.Millisecond,
+		AlphaMax: 35 * sim.Millisecond,
+		Gamma:    600 * sim.Microsecond,
+		Rho:      0.1,
+		Seed:     7,
+	}
+}
+
+// simHorizon bounds the simulated span per iteration. Larger clusters
+// process proportionally more messages per simulated second, so the
+// horizon shrinks with N to keep one iteration comparable.
+func simHorizon(n int) sim.Time {
+	switch {
+	case n >= 512:
+		return 300 * sim.Millisecond
+	case n >= 128:
+		return 600 * sim.Millisecond
+	default:
+		return 1 * sim.Second
+	}
+}
+
+// simScenario benchmarks one full driver.Run per iteration.
+func simScenario(name string, wl workload.Config, opt core.Options) Scenario {
+	return Scenario{Name: name, Run: func(b *testing.B) {
+		cfg := driver.Config{
+			Workload:   wl,
+			Processing: experiments.Proc,
+			Warmup:     20 * sim.Millisecond,
+			Horizon:    simHorizon(wl.N),
+		}
+		factory := core.NewFactory(opt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var last driver.Result
+		for i := 0; i < b.N; i++ {
+			res, err := driver.Run(cfg, factory)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.MsgPerGrant, "msg_per_cs")
+		b.ReportMetric(float64(last.Grants), "grants_per_op")
+		b.ReportMetric(float64(last.Events), "events_per_op")
+	}}
+}
+
+// SimGrid is the cluster-size × loan grid plus the zones and skew
+// workloads from internal/workload.
+func SimGrid() []Scenario {
+	var out []Scenario
+	for _, n := range []int{32, 128, 512} {
+		for _, loan := range []bool{false, true} {
+			opt, tag := core.WithoutLoan(), "noloan"
+			if loan {
+				opt, tag = core.WithLoan(), "loan"
+			}
+			out = append(out, simScenario(fmt.Sprintf("sim/n%d/%s", n, tag), simWorkload(n), opt))
+		}
+	}
+	zones := simWorkload(32)
+	zones.Zones, zones.LocalBias = 4, 0.8
+	out = append(out, simScenario("sim/n32/zones4", zones, core.WithLoan()))
+	skew := simWorkload(32)
+	skew.Skew = 1.0
+	out = append(out, simScenario("sim/n32/skew", skew, core.WithLoan()))
+	return out
+}
+
+// MicroGrid isolates the two allocation-heavy kernels under the sim
+// scenarios: event scheduling in sim.Engine and request sampling in
+// workload.Generator.
+func MicroGrid() []Scenario {
+	engine := Scenario{Name: "micro/engine/schedule", Run: func(b *testing.B) {
+		const k = 65536
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := sim.New()
+			var fn func()
+			n := 0
+			fn = func() {
+				if n < k {
+					n++
+					e.After(sim.Microsecond, fn)
+				}
+			}
+			e.After(sim.Microsecond, fn)
+			e.Run()
+		}
+		b.ReportMetric(k, "events_per_op")
+	}}
+	cancel := Scenario{Name: "micro/engine/cancel", Run: func(b *testing.B) {
+		// Schedule k events, cancel every other one, drain: exercises
+		// the canceled-head discard path and event recycling.
+		const k = 65536
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := sim.New()
+			for j := 0; j < k; j++ {
+				ev := e.At(sim.Time(j), func() {})
+				if j%2 == 0 {
+					e.Cancel(ev)
+				}
+			}
+			e.Run()
+		}
+		b.ReportMetric(k, "events_per_op")
+	}}
+	sample := Scenario{Name: "micro/workload/next", Run: func(b *testing.B) {
+		g := workload.NewGenerator(simWorkload(32), 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		size := 0
+		for i := 0; i < b.N; i++ {
+			size += g.Next().Size
+		}
+		_ = size
+	}}
+	set := Scenario{Name: "micro/resource/sample", Run: func(b *testing.B) {
+		r := sim.Stream(7, "bench/sample")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := resource.Sample(r, 80, 16)
+			if s.Len() != 16 {
+				b.Fatal("bad sample")
+			}
+		}
+	}}
+	return []Scenario{engine, cancel, sample, set}
+}
+
+// LiveGrid measures the goroutine runtime: end-to-end Acquire/Release
+// throughput on a contended in-process cluster.
+func LiveGrid() []Scenario {
+	throughput := Scenario{Name: "live/acquire/n8", Run: func(b *testing.B) {
+		c, err := live.New(live.Config{Nodes: 8, Resources: 32}, core.NewFactory(core.WithLoan()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			release, err := c.Acquire(ctx, i%8, i%32, (i+11)%32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			release()
+		}
+	}}
+	parallel := Scenario{Name: "live/acquire/n8/parallel", Run: func(b *testing.B) {
+		c, err := live.New(live.Config{Nodes: 8, Resources: 32}, core.NewFactory(core.WithLoan()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				node := i % 8
+				release, err := c.Acquire(ctx, node, (node*7+i)%32)
+				if err != nil {
+					// b.Fatal would Goexit a non-benchmark goroutine,
+					// which the testing package forbids.
+					b.Error(err)
+					return
+				}
+				release()
+			}
+		})
+	}}
+	return []Scenario{throughput, parallel}
+}
+
+// Grid is the full scenario grid of the checked-in BENCH report, in
+// report order.
+func Grid() []Scenario {
+	var out []Scenario
+	out = append(out, SimGrid()...)
+	out = append(out, MicroGrid()...)
+	out = append(out, LiveGrid()...)
+	return out
+}
+
+// Measure runs one scenario and converts its benchmark result into a
+// schema Result row.
+func Measure(s Scenario) Result {
+	r := testing.Benchmark(s.Run)
+	res := Result{
+		Scenario:    s.Name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if v, ok := r.Extra["msg_per_cs"]; ok {
+		res.MsgPerCS = round3(v)
+	}
+	if v, ok := r.Extra["grants_per_op"]; ok {
+		res.GrantsPerOp = int64(v)
+	}
+	if v, ok := r.Extra["events_per_op"]; ok {
+		res.EventsPerOp = int64(v)
+	}
+	if res.NsPerOp > 0 {
+		ops := 1e9 / float64(res.NsPerOp)
+		if res.GrantsPerOp > 0 {
+			// Wall-clock critical sections per second: how many CS the
+			// harness pushes through one real second of simulation.
+			res.CSPerSec = round3(ops * float64(res.GrantsPerOp))
+		}
+	}
+	return res
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGridNamesUniqueAndBaselineCovered(t *testing.T) {
+	names := make(map[string]bool)
+	for _, s := range Grid() {
+		if s.Name == "" || s.Run == nil {
+			t.Fatalf("malformed scenario %+v", s)
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	// Schema stability: every frozen baseline row must still name a
+	// scenario the grid can regenerate.
+	for _, b := range Baseline {
+		if !names[b.Scenario] {
+			t.Errorf("baseline row %q has no scenario in the grid", b.Scenario)
+		}
+	}
+}
+
+func TestReportDeltasAndMarshal(t *testing.T) {
+	current := []Result{
+		{Scenario: Baseline[0].Scenario, NsPerOp: Baseline[0].NsPerOp / 2, AllocsPerOp: Baseline[0].AllocsPerOp / 4},
+		{Scenario: "not/in/baseline", NsPerOp: 10},
+	}
+	r := NewReport(current)
+	if r.Schema != Schema || r.Module != "mralloc" {
+		t.Fatalf("report header %+v", r)
+	}
+	if len(r.Deltas) != 1 {
+		t.Fatalf("deltas = %+v, want exactly the baseline-covered scenario", r.Deltas)
+	}
+	d := r.Deltas[0]
+	if d.NsRatio < 0.45 || d.NsRatio > 0.55 {
+		t.Fatalf("ns ratio = %v, want ≈0.5", d.NsRatio)
+	}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Baseline) != len(Baseline) {
+		t.Fatal("report does not round-trip")
+	}
+	if !strings.Contains(r.Table(), Baseline[0].Scenario) {
+		t.Fatal("table missing scenario row")
+	}
+}
+
+// TestMeasureDeterministicMetrics runs one sim scenario twice and
+// checks the protocol-level metrics reproduce exactly — the property
+// that makes BENCH_*.json regenerable. Wall-clock fields only need to
+// be positive.
+func TestMeasureDeterministicMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark measurement in -short mode")
+	}
+	var s Scenario
+	for _, c := range SimGrid() {
+		if c.Name == "sim/n32/skew" {
+			s = c
+		}
+	}
+	if s.Run == nil {
+		t.Fatal("scenario sim/n32/skew missing from grid")
+	}
+	a, b := Measure(s), Measure(s)
+	if a.NsPerOp <= 0 || a.AllocsPerOp <= 0 {
+		t.Fatalf("no wall-clock measurement: %+v", a)
+	}
+	if a.MsgPerCS <= 0 || a.GrantsPerOp <= 0 || a.EventsPerOp <= 0 {
+		t.Fatalf("missing protocol metrics: %+v", a)
+	}
+	if a.MsgPerCS != b.MsgPerCS || a.GrantsPerOp != b.GrantsPerOp || a.EventsPerOp != b.EventsPerOp {
+		t.Fatalf("protocol metrics not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestMicroAndLiveMeasure smoke-runs one micro and one live scenario
+// end to end (the full grid runs via cmd/bench, not in tests).
+func TestMicroAndLiveMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark measurement in -short mode")
+	}
+	for _, grid := range [][]Scenario{MicroGrid(), LiveGrid()} {
+		r := Measure(grid[len(grid)-1])
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: no measurement: %+v", r.Scenario, r)
+		}
+	}
+}

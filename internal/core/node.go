@@ -60,6 +60,21 @@ type Node struct {
 	pending [][]request // pendingReq, per resource
 	out     outbox
 	stats   Counters
+
+	// Reusable hot-path scratch. ids snapshots a set for iteration in
+	// Release/scanQueues/processLoanQueues (never nested with each
+	// other); lendIDs is canLend's own snapshot, which IS reached from
+	// inside a processLoanQueues iteration. miss holds maybeAskLoan's
+	// missing-set computation.
+	ids     []resource.ID
+	lendIDs []resource.ID
+	miss    resource.Set
+
+	// snapFree recycles stale token snapshots: sendToken needs one per
+	// transfer, and the one an arriving token displaces in processUpdate
+	// never escapes the node, so they cycle through this free list
+	// instead of allocating two N-sized stamp arrays per transfer.
+	snapFree []*token
 }
 
 // Counters exposes protocol-internal event counts that never cross the
@@ -101,6 +116,7 @@ func (nd *Node) Attach(env alg.Env) {
 	nd.myVector = make([]int64, m)
 	nd.scratch = make([]int64, m)
 	nd.pending = make([][]request, m)
+	nd.miss = resource.NewSet(m)
 	const elected network.NodeID = 0
 	for r := 0; r < m; r++ {
 		if env.ID() == elected {
@@ -162,7 +178,13 @@ func (nd *Node) sendToken(to network.NodeID, r resource.ID) {
 	}
 	t := nd.lastTok[r]
 	nd.owned.Remove(r)
-	nd.lastTok[r] = t.snapshot()
+	var spare *token
+	if n := len(nd.snapFree); n > 0 {
+		spare = nd.snapFree[n-1]
+		nd.snapFree[n-1] = nil
+		nd.snapFree = nd.snapFree[:n-1]
+	}
+	nd.lastTok[r] = t.snapshotInto(spare)
 	nd.tokDir[r] = to
 	nd.out.token(to, t)
 }
@@ -173,7 +195,7 @@ func (nd *Node) Request(rs resource.Set) {
 		panic(fmt.Sprintf("core: s%d requested in state %v", nd.self(), nd.st))
 	}
 	nd.curID++
-	nd.required = rs.Clone()
+	nd.required.CopyFrom(rs)
 	nd.loanAsked = false
 	nd.single = false
 
@@ -255,7 +277,8 @@ func (nd *Node) Release() {
 	nd.st = stIdle
 	nd.loanAsked = false
 	nd.single = false
-	for _, r := range nd.required.Members() {
+	nd.ids = nd.required.AppendMembers(nd.ids)
+	for _, r := range nd.ids {
 		t := nd.lastTok[r]
 		t.LastCS[nd.self()] = nd.curID
 		if t.Lender != network.None && t.Lender != nd.self() {
@@ -289,7 +312,13 @@ func (nd *Node) Deliver(from network.NodeID, m network.Message) {
 	switch msg := m.(type) {
 	case reqBatch:
 		nd.onRequests(msg)
-		nd.flush(visitedAdd(msg.Visited, nd.self()))
+		if len(nd.out.reqs) > 0 {
+			// visitedAdd copies; only pay for it when a request batch
+			// is actually being forwarded.
+			nd.flush(visitedAdd(msg.Visited, nd.self()))
+		} else {
+			nd.flush(nil)
+		}
 	case respBatch:
 		nd.onCounters(from, msg.Counters)
 		if len(msg.Tokens) > 0 {
@@ -425,7 +454,8 @@ func (nd *Node) canLend(req request) bool {
 	if !req.Missing.SubsetOf(nd.owned) {
 		return false
 	}
-	for _, r := range nd.owned.Members() {
+	nd.lendIDs = nd.owned.AppendMembers(nd.lendIDs)
+	for _, r := range nd.lendIDs {
 		if nd.lastTok[r].Lender != network.None {
 			return false // we hold borrowed tokens ourselves
 		}
@@ -543,6 +573,11 @@ func (nd *Node) processUpdate(t *token) {
 	// try to lend the token to ourselves (hardening, see DESIGN.md).
 	t.Queue.RemoveSite(self)
 	t.removeLoans(self)
+	if old := nd.lastTok[r]; old != nil {
+		// The displaced stale snapshot is node-private; recycle it for
+		// the next sendToken.
+		nd.snapFree = append(nd.snapFree, old)
+	}
 	nd.lastTok[r] = t
 	nd.owned.Add(r)
 	nd.tokDir[r] = network.None
@@ -589,7 +624,8 @@ func (nd *Node) processUpdate(t *token) {
 // queue; in waitCS we yield to higher-priority heads; tokens we do not
 // compete for go to their head directly.
 func (nd *Node) scanQueues() {
-	for _, r := range nd.owned.Members() {
+	nd.ids = nd.owned.AppendMembers(nd.ids)
+	for _, r := range nd.ids {
 		t := nd.lastTok[r]
 		head, ok := t.Queue.Head()
 		if !ok {
@@ -617,7 +653,8 @@ func (nd *Node) processLoanQueues() {
 	if nd.st == stInCS {
 		return
 	}
-	for _, r := range nd.owned.Members() {
+	nd.ids = nd.owned.AppendMembers(nd.ids)
+	for _, r := range nd.ids {
 		t := nd.lastTok[r]
 		if len(t.Loans) == 0 {
 			continue
@@ -642,16 +679,22 @@ func (nd *Node) maybeAskLoan() {
 	if !nd.opt.Loan || nd.st != stWaitCS || nd.loanAsked || nd.single {
 		return
 	}
-	missing := nd.required.Diff(nd.owned)
-	if missing.Empty() || missing.Len() > nd.opt.threshold() {
+	nd.miss.CopyFrom(nd.required)
+	nd.miss.DiffWith(nd.owned)
+	if nd.miss.Empty() || nd.miss.Len() > nd.opt.threshold() {
 		return
 	}
 	nd.loanAsked = true
 	nd.stats.LoanAsks++
-	missing.ForEach(func(r resource.ID) {
+	// One copy of the missing set rides every ReqLoan of this round.
+	// Receivers store and forward it by reference, so it must be
+	// treated as immutable from here on — nothing may mutate a
+	// request's Missing in place.
+	missing := nd.miss.Clone()
+	nd.miss.ForEach(func(r resource.ID) {
 		nd.out.request(nd.tokDir[r], request{
 			Kind: reqLoan, R: r, Init: nd.self(), ID: nd.curID,
-			Mark: nd.myMark, Missing: missing.Clone(),
+			Mark: nd.myMark, Missing: missing,
 		})
 	})
 }

@@ -15,6 +15,11 @@ type outbox struct {
 	reqs []destReq
 	cnts []destCnt
 	toks []destTok
+
+	// dests is flush's scratch list of unique destinations, reused
+	// across activations. An activation talks to a handful of sites, so
+	// linear scans beat a map here — and allocate nothing.
+	dests []network.NodeID
 }
 
 type destReq struct {
@@ -42,22 +47,42 @@ func (o *outbox) token(to network.NodeID, t *token) {
 	o.toks = append(o.toks, destTok{to, t})
 }
 
+// destAdd records a destination in first-occurrence order.
+func (o *outbox) destAdd(to network.NodeID) {
+	for _, d := range o.dests {
+		if d == to {
+			return
+		}
+	}
+	o.dests = append(o.dests, to)
+}
+
 // flush transmits everything buffered. visited applies to all request
 // messages of this activation (§4.2.1); it must already include the
-// sending site.
+// sending site. Only the slices that ride the wire are allocated — the
+// grouping itself runs on reusable scratch, in the same
+// first-occurrence destination order the map-based version produced.
 func (o *outbox) flush(env alg.Env, visited []network.NodeID, aggregate bool) {
 	if len(o.reqs) > 0 {
 		if aggregate {
-			var order []network.NodeID
-			groups := make(map[network.NodeID][]request, 4)
+			o.dests = o.dests[:0]
 			for _, x := range o.reqs {
-				if _, seen := groups[x.to]; !seen {
-					order = append(order, x.to)
-				}
-				groups[x.to] = append(groups[x.to], x.r)
+				o.destAdd(x.to)
 			}
-			for _, to := range order {
-				env.Send(to, reqBatch{Visited: visited, Reqs: groups[to]})
+			for _, to := range o.dests {
+				n := 0
+				for _, x := range o.reqs {
+					if x.to == to {
+						n++
+					}
+				}
+				reqs := make([]request, 0, n)
+				for _, x := range o.reqs {
+					if x.to == to {
+						reqs = append(reqs, x.r)
+					}
+				}
+				env.Send(to, reqBatch{Visited: visited, Reqs: reqs})
 			}
 		} else {
 			for _, x := range o.reqs {
@@ -70,27 +95,44 @@ func (o *outbox) flush(env alg.Env, visited []network.NodeID, aggregate bool) {
 		return
 	}
 	if aggregate {
-		var order []network.NodeID
-		groups := make(map[network.NodeID]*respBatch, 4)
-		add := func(to network.NodeID) *respBatch {
-			b, seen := groups[to]
-			if !seen {
-				b = &respBatch{}
-				groups[to] = b
-				order = append(order, to)
-			}
-			return b
-		}
+		o.dests = o.dests[:0]
 		for _, x := range o.cnts {
-			b := add(x.to)
-			b.Counters = append(b.Counters, x.c)
+			o.destAdd(x.to)
 		}
 		for _, x := range o.toks {
-			b := add(x.to)
-			b.Tokens = append(b.Tokens, x.t)
+			o.destAdd(x.to)
 		}
-		for _, to := range order {
-			env.Send(to, *groups[to])
+		for _, to := range o.dests {
+			var b respBatch
+			n := 0
+			for _, x := range o.cnts {
+				if x.to == to {
+					n++
+				}
+			}
+			if n > 0 {
+				b.Counters = make([]counterVal, 0, n)
+				for _, x := range o.cnts {
+					if x.to == to {
+						b.Counters = append(b.Counters, x.c)
+					}
+				}
+			}
+			n = 0
+			for _, x := range o.toks {
+				if x.to == to {
+					n++
+				}
+			}
+			if n > 0 {
+				b.Tokens = make([]*token, 0, n)
+				for _, x := range o.toks {
+					if x.to == to {
+						b.Tokens = append(b.Tokens, x.t)
+					}
+				}
+			}
+			env.Send(to, b)
 		}
 	} else {
 		for _, x := range o.cnts {

@@ -123,7 +123,7 @@ func TestTokenSnapshotIndependent(t *testing.T) {
 	tok.Counter = 9
 	tok.LastCS[2] = 5
 	tok.Queue.Insert(reqRef{Site: 1, ID: 1, Mark: 1})
-	s := tok.snapshot()
+	s := tok.snapshotInto(nil)
 	if s.Counter != 9 || s.LastCS[2] != 5 || s.R != 3 {
 		t.Fatalf("snapshot = %+v", s)
 	}
@@ -133,6 +133,41 @@ func TestTokenSnapshotIndependent(t *testing.T) {
 	s.LastCS[2] = 99
 	if tok.LastCS[2] != 5 {
 		t.Fatal("snapshot aliases token stamps")
+	}
+}
+
+// TestTokenSnapshotIntoRecycles pins the free-list contract: reusing a
+// dirty record must scrub its queue, loans and lender, and must not
+// allocate fresh stamp arrays when the shape matches.
+func TestTokenSnapshotIntoRecycles(t *testing.T) {
+	tok := newToken(3, 4)
+	tok.Counter = 9
+	tok.LastCS[2] = 5
+
+	dirty := newToken(1, 4)
+	dirty.Queue.Insert(reqRef{Site: 1, ID: 1, Mark: 1})
+	dirty.Loans = append(dirty.Loans, loanEntry{Ref: reqRef{Site: 2, ID: 2}, R: 1})
+	dirty.Lender = 3
+	stamps := &dirty.LastCS[0]
+
+	s := tok.snapshotInto(dirty)
+	if s != dirty {
+		t.Fatal("matching-shape record was not reused")
+	}
+	if &s.LastCS[0] != stamps {
+		t.Fatal("stamp arrays were reallocated")
+	}
+	if s.R != 3 || s.Counter != 9 || s.LastCS[2] != 5 {
+		t.Fatalf("recycled snapshot = %+v", s)
+	}
+	if len(s.Queue) != 0 || len(s.Loans) != 0 || s.Lender != network.None {
+		t.Fatal("recycled snapshot carries stale queue/loans/lender")
+	}
+
+	// A record of the wrong shape is rejected, not resized in place.
+	wrong := newToken(0, 2)
+	if tok.snapshotInto(wrong) == wrong {
+		t.Fatal("wrong-shape record reused")
 	}
 }
 

@@ -112,17 +112,24 @@ func newToken(r resource.ID, n int) *token {
 	}
 }
 
-// snapshot returns a stale copy safe to keep after the authoritative
-// token is sent away: stamps and counter for conservative obsolescence
-// pruning, no queues (they travel with the token).
-func (t *token) snapshot() *token {
-	s := &token{
-		R:        t.R,
-		Counter:  t.Counter,
-		LastReqC: append([]int64(nil), t.LastReqC...),
-		LastCS:   append([]int64(nil), t.LastCS...),
-		Lender:   network.None,
+// snapshotInto returns a stale copy safe to keep after the
+// authoritative token is sent away: stamps and counter for conservative
+// obsolescence pruning, no queues (they travel with the token). A
+// recycled record of matching shape is reused; pass nil to allocate.
+func (t *token) snapshotInto(s *token) *token {
+	if s == nil || len(s.LastReqC) != len(t.LastReqC) {
+		s = &token{
+			LastReqC: make([]int64, len(t.LastReqC)),
+			LastCS:   make([]int64, len(t.LastCS)),
+		}
 	}
+	s.R = t.R
+	s.Counter = t.Counter
+	copy(s.LastReqC, t.LastReqC)
+	copy(s.LastCS, t.LastCS)
+	s.Queue = nil
+	s.Loans = nil
+	s.Lender = network.None
 	return s
 }
 

@@ -126,13 +126,18 @@ func Run(cfg Config, factory alg.Factory) (Result, error) {
 		env := &nodeEnv{run: d, id: id}
 		nodes[i].Attach(env)
 		nw.Bind(id, nodes[i].Deliver)
-		d.sites[i].gen = workload.NewGenerator(wl, i)
+		st := &d.sites[i]
+		st.gen = workload.NewGenerator(wl, i)
+		// Bind the cycle callbacks once per site: the request loop
+		// reschedules them constantly, and prebound closures keep that
+		// off the allocator.
+		st.issueFn = func() { d.issue(id) }
+		st.releaseFn = func() { d.release(id) }
 	}
 	// Stagger the very first request of each site by an independent
 	// think draw so time zero is not a synchronized thundering herd.
 	for i := range nodes {
-		id := network.NodeID(i)
-		eng.At(d.sites[i].gen.Think(), func() { d.issue(id) })
+		eng.At(d.sites[i].gen.Think(), d.sites[i].issueFn)
 	}
 
 	eng.RunUntil(cfg.Horizon)
@@ -175,6 +180,11 @@ type siteState struct {
 	reqAt     sim.Time
 	inCS      bool
 	grantedAt sim.Time
+
+	// issueFn and releaseFn are the site's cycle callbacks, bound once
+	// at setup and rescheduled for every request.
+	issueFn   func()
+	releaseFn func()
 }
 
 type runState struct {
@@ -216,7 +226,7 @@ func (d *runState) granted(id network.NodeID) {
 		d.siteWait[id].Add((now - st.reqAt).Milliseconds())
 	}
 	st.req.Resources.ForEach(func(r resource.ID) { d.use.Acquire(int(r), now) })
-	d.eng.After(st.req.CS, func() { d.release(id) })
+	d.eng.After(st.req.CS, st.releaseFn)
 }
 
 // release ends site id's critical section and schedules its next cycle.
@@ -232,7 +242,7 @@ func (d *runState) release(id network.NodeID) {
 	d.nodes[id].Release()
 	next := now + st.gen.Think()
 	if next < d.cfg.Horizon {
-		d.eng.At(next, func() { d.issue(id) })
+		d.eng.At(next, st.issueFn)
 	}
 }
 

@@ -207,16 +207,64 @@ type loop struct {
 	id   network.NodeID
 	node alg.Node
 
-	in   chan any      // envelopes and commands (unbounded via pump)
-	pump chan any      // external senders write here
+	mb   mailbox       // envelopes and commands (unbounded, batch-drained)
 	slot chan struct{} // capacity 1: one outstanding request per node
 
 	granted chan struct{} // the in-flight request's grant signal
-	quit    chan struct{}
-	stopped sync.Once
 
 	outMu  sync.Mutex // guards outbox (latency mode only)
 	outbox map[network.NodeID]chan network.Message
+}
+
+// mailbox is the loop's unbounded multi-producer queue. The consumer
+// drains it in batches: one wakeup takes every queued item, so a burst
+// of messages costs one mutex handoff and one goroutine wakeup instead
+// of one channel rendezvous each. Unbounded queues keep send-cycles
+// (token exchanges) from deadlocking on full mailboxes.
+type mailbox struct {
+	mu       sync.Mutex
+	nonEmpty sync.Cond // 1-to-1 with the consumer; signaled on empty→non-empty
+	queue    []any
+	closed   bool
+}
+
+// put enqueues v, reporting false once the mailbox is closed.
+func (mb *mailbox) put(v any) bool {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return false
+	}
+	mb.queue = append(mb.queue, v)
+	if len(mb.queue) == 1 {
+		// Only an empty→non-empty edge can find the consumer parked.
+		mb.nonEmpty.Signal()
+	}
+	mb.mu.Unlock()
+	return true
+}
+
+// takeAll blocks until items are queued or the mailbox closes, then
+// takes the whole queue in one swap, leaving spare (reset) behind as
+// the next accumulation buffer. ok is false once closed and drained.
+func (mb *mailbox) takeAll(spare []any) (batch []any, ok bool) {
+	mb.mu.Lock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.nonEmpty.Wait()
+	}
+	batch = mb.queue
+	mb.queue = spare[:0]
+	mb.mu.Unlock()
+	return batch, len(batch) > 0
+}
+
+// close marks the mailbox closed and wakes the consumer. Idempotent;
+// items queued before close are still delivered by the next takeAll.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.nonEmpty.Broadcast()
 }
 
 type envelope struct {
@@ -243,70 +291,48 @@ func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
 		c:    c,
 		id:   id,
 		node: node,
-		in:   make(chan any),
-		pump: make(chan any),
 		slot: make(chan struct{}, 1),
-		quit: make(chan struct{}),
 	}
-	go l.pumpLoop()
+	l.mb.nonEmpty.L = &l.mb.mu
 	return l
-}
-
-// pumpLoop turns the bounded pump channel into an unbounded in channel,
-// preserving order. Unbounded queues keep send-cycles (token exchanges)
-// from deadlocking on full mailboxes.
-func (l *loop) pumpLoop() {
-	var backlog []any
-	for {
-		var out chan any
-		var head any
-		if len(backlog) > 0 {
-			out = l.in
-			head = backlog[0]
-		}
-		select {
-		case v := <-l.pump:
-			backlog = append(backlog, v)
-		case out <- head:
-			backlog = backlog[1:]
-		case <-l.quit:
-			// pump is never closed — senders race Close and must not
-			// panic; they observe quit in post instead.
-			close(l.in)
-			return
-		}
-	}
 }
 
 // post enqueues an item, reporting false once the loop is stopping.
 func (l *loop) post(v any) bool {
-	select {
-	case l.pump <- v:
-		return true
-	case <-l.quit:
-		return false
-	}
+	return l.mb.put(v)
 }
 
 func (l *loop) stop() {
-	l.stopped.Do(func() { close(l.quit) })
+	l.mb.close()
 }
 
+// run is the site's event loop goroutine. It drains the mailbox a
+// batch at a time: every message that queued up while the previous
+// batch was being processed is handled under a single wakeup.
 func (l *loop) run() {
-	for v := range l.in {
-		switch x := v.(type) {
-		case envelope:
-			l.node.Deliver(x.from, x.msg)
-		case cmdRequest:
-			l.granted = x.granted
-			l.node.Request(x.rs)
-		case cmdRelease:
-			l.node.Release()
-			close(x.done)
-		case cmdInspect:
-			x.fn(l.node)
-			close(x.done)
+	var spare []any
+	for {
+		batch, ok := l.mb.takeAll(spare)
+		if !ok {
+			return
 		}
+		for i, v := range batch {
+			batch[i] = nil // drop the reference as soon as it is handled
+			switch x := v.(type) {
+			case envelope:
+				l.node.Deliver(x.from, x.msg)
+			case cmdRequest:
+				l.granted = x.granted
+				l.node.Request(x.rs)
+			case cmdRelease:
+				l.node.Release()
+				close(x.done)
+			case cmdInspect:
+				x.fn(l.node)
+				close(x.done)
+			}
+		}
+		spare = batch
 	}
 }
 

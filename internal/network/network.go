@@ -55,6 +55,45 @@ type Network struct {
 	// Trace, when non-nil, observes every send (for debugging and the
 	// Gantt/trace tooling).
 	Trace func(at sim.Time, from, to NodeID, m Message)
+
+	// free pools delivery records so that a send schedules its delivery
+	// without allocating a fresh closure per message.
+	free []*delivery
+}
+
+// delivery is one in-flight message. Its run closure is bound once at
+// record creation and reused for every message the record carries.
+type delivery struct {
+	nw       *Network
+	from, to NodeID
+	m        Message
+	run      func()
+}
+
+func (nw *Network) getDelivery() *delivery {
+	if n := len(nw.free); n > 0 {
+		d := nw.free[n-1]
+		nw.free[n-1] = nil
+		nw.free = nw.free[:n-1]
+		return d
+	}
+	d := &delivery{nw: nw}
+	d.run = d.deliver
+	return d
+}
+
+// deliver hands the message to the destination handler. The record is
+// released first: handlers send follow-up messages, and reusing this
+// record keeps the pool at its high-water mark.
+func (d *delivery) deliver() {
+	nw, from, to, m := d.nw, d.from, d.to, d.m
+	d.m = nil
+	nw.free = append(nw.free, d)
+	h := nw.handlers[to]
+	if h == nil {
+		panic(fmt.Sprintf("network: node %d has no handler", to))
+	}
+	h(from, m)
 }
 
 // New creates a network of n nodes over eng. The latency model may be
@@ -123,13 +162,9 @@ func (nw *Network) Send(from, to NodeID, m Message) {
 		at += nw.proc
 		nw.busyUntil[to] = at
 	}
-	nw.eng.At(at, func() {
-		h := nw.handlers[to]
-		if h == nil {
-			panic(fmt.Sprintf("network: node %d has no handler", to))
-		}
-		h(from, m)
-	})
+	d := nw.getDelivery()
+	d.from, d.to, d.m = from, to, m
+	nw.eng.At(at, d.run)
 }
 
 // Stats returns a snapshot of the traffic counters.

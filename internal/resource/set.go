@@ -94,6 +94,13 @@ func (s Set) Clone() Set {
 	return c
 }
 
+// CopyFrom overwrites s with the members of o without allocating,
+// reusing s's storage. The universes must match.
+func (s *Set) CopyFrom(o Set) {
+	s.sameUniverse(o)
+	copy(s.words, o.words)
+}
+
 // Clear removes every member, keeping the universe.
 func (s *Set) Clear() {
 	for i := range s.words {
@@ -200,9 +207,23 @@ func (s Set) ForEach(fn func(ID)) {
 
 // Members returns the members in ascending order.
 func (s Set) Members() []ID {
-	out := make([]ID, 0, s.Len())
-	s.ForEach(func(id ID) { out = append(out, id) })
-	return out
+	return s.AppendMembers(make([]ID, 0, s.Len()))
+}
+
+// AppendMembers writes the members in ascending order into buf
+// (truncated first) and returns it, growing it only when the previous
+// capacity is too small. It is the allocation-free Members for hot
+// paths that iterate a snapshot while mutating the set.
+func (s Set) AppendMembers(buf []ID) []ID {
+	buf = buf[:0]
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			buf = append(buf, ID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return buf
 }
 
 // Min returns the smallest member, or -1 when empty.
@@ -231,22 +252,22 @@ func (s Set) String() string {
 	return b.String()
 }
 
-// Sample returns a uniformly random subset of size k of {0..m-1} using a
-// partial Fisher–Yates shuffle: each k-subset is equally likely. It is
-// the request generator for every workload in the evaluation.
+// Sample returns a uniformly random subset of size k of {0..m-1} using
+// Floyd's algorithm: each k-subset is equally likely, k draws, and no
+// O(m) permutation scratch. It is the request generator for every
+// workload in the evaluation.
 func Sample(r *rand.Rand, m, k int) Set {
 	if k < 0 || k > m {
 		panic(fmt.Sprintf("resource: cannot sample %d of %d", k, m))
 	}
-	perm := make([]ID, m)
-	for i := range perm {
-		perm[i] = ID(i)
-	}
 	s := NewSet(m)
-	for i := 0; i < k; i++ {
-		j := i + r.Intn(m-i)
-		perm[i], perm[j] = perm[j], perm[i]
-		s.Add(perm[i])
+	for j := m - k; j < m; j++ {
+		t := ID(r.Intn(j + 1))
+		if s.Has(t) {
+			s.Add(ID(j))
+		} else {
+			s.Add(t)
+		}
 	}
 	return s
 }

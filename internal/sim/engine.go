@@ -1,31 +1,55 @@
 package sim
 
-// Event is a scheduled callback. The zero Event is not meaningful; events
-// are created through Engine.At and Engine.After and may be canceled.
-type Event struct {
+// event is the scheduler's internal record of one scheduled callback.
+// Records are recycled through Engine.free once they fire or their
+// cancellation is collected, so the scheduling hot path allocates only
+// when the agenda outgrows every previous high-water mark.
+type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 
 	index    int // position in the heap, -1 once popped
+	gen      uint64
 	canceled bool
 }
 
-// At reports the instant the event is scheduled for.
-func (ev *Event) At() Time { return ev.at }
+// Event is a cancellation handle for a scheduled callback, returned by
+// Engine.At and Engine.After. The zero Event is valid and cancels
+// nothing. Handles stay safe after the callback has fired: the record
+// behind a spent handle may be recycled for a later event, and the
+// generation stamp makes Cancel on the stale handle a no-op rather than
+// a cancellation of the unrelated newcomer.
+type Event struct {
+	n   *event
+	gen uint64
+}
+
+// At reports the instant the event is scheduled for. It is meaningful
+// until the event fires or is canceled; afterwards it reports the
+// schedule of whatever event currently occupies the recycled record.
+func (ev Event) At() Time {
+	if ev.n == nil {
+		return 0
+	}
+	return ev.n.at
+}
 
 // Engine is a single-threaded discrete-event scheduler.
 type Engine struct {
 	now  Time
 	seq  uint64
-	heap []*Event
+	heap []*event
+
+	// free holds spent event records for reuse (a free-list pool).
+	free []*event
 
 	executed uint64
 }
 
 // New returns an engine with the clock at zero and an empty agenda.
 func New() *Engine {
-	return &Engine{heap: make([]*Event, 0, 1024)}
+	return &Engine{heap: make([]*event, 0, 1024)}
 }
 
 // Now reports the current virtual time.
@@ -35,36 +59,61 @@ func (e *Engine) Now() Time { return e.now }
 // complexity measure for tests and benchmarks).
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports the number of events still scheduled.
+// Pending reports the number of events still scheduled, including
+// canceled events whose records have not been collected yet.
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // At schedules fn to run at instant t. Scheduling in the past (t < Now)
 // is a programming error and panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic("sim: scheduling into the past")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	if len(e.free) == 0 {
+		// Refill the pool a slab at a time: one allocation per 64
+		// records, and consecutive events stay cache-adjacent.
+		slab := make([]event, 64)
+		for i := range slab {
+			e.free = append(e.free, &slab[i])
+		}
+	}
+	// No need to nil the vacated slot: records are slab-backed and stay
+	// reachable through the pool either way.
+	n := len(e.free)
+	ev := e.free[n-1]
+	e.free = e.free[:n-1]
+	ev.at, ev.fn, ev.canceled = t, fn, false
+	ev.seq = e.seq
 	e.seq++
 	e.push(ev)
-	return ev
+	return Event{n: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current instant.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes ev from the agenda. Canceling an already-executed or
-// already-canceled event is a no-op, so callers need not track firing.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
+// Cancel removes ev from the agenda. Canceling the zero Event, an
+// already-executed or already-canceled event, or a stale handle whose
+// record has been recycled is a no-op, so callers need not track firing.
+func (e *Engine) Cancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.canceled || n.index < 0 {
 		return
 	}
-	ev.canceled = true
+	n.canceled = true
+}
+
+// recycle returns a spent record to the pool. Bumping the generation
+// invalidates every outstanding handle to it.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Step executes the earliest pending event, advancing the clock to it.
@@ -73,11 +122,19 @@ func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		ev := e.pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: fn frequently schedules a follow-up
+		// (network deliveries, the driver's request cycle), and handing
+		// it this record keeps the pool at its high-water mark. The
+		// handle the caller holds is dead either way — index is -1 and
+		// the generation has moved on.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -104,35 +161,35 @@ func (e *Engine) RunUntil(horizon Time) {
 	}
 }
 
-// peek returns the earliest live event without removing it, skipping and
-// discarding canceled entries on the way.
-func (e *Engine) peek() *Event {
+// peek returns the earliest live event without removing it, discarding
+// (and recycling) canceled entries on the way.
+func (e *Engine) peek() *event {
 	for len(e.heap) > 0 {
 		if ev := e.heap[0]; !ev.canceled {
 			return ev
 		}
-		e.pop()
+		e.recycle(e.pop())
 	}
 	return nil
 }
 
-// The heap is hand-rolled rather than container/heap to keep Event
+// The heap is hand-rolled rather than container/heap to keep event
 // pointers stable and avoid interface boxing on the hot path.
 
-func (e *Engine) less(a, b *Event) bool {
+func (e *Engine) less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (e *Engine) push(ev *Event) {
+func (e *Engine) push(ev *event) {
 	ev.index = len(e.heap)
 	e.heap = append(e.heap, ev)
 	e.up(ev.index)
 }
 
-func (e *Engine) pop() *Event {
+func (e *Engine) pop() *event {
 	h := e.heap
 	n := len(h) - 1
 	top := h[0]

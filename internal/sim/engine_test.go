@@ -180,7 +180,7 @@ func TestEngineCancelProperty(t *testing.T) {
 		e := New()
 		r := rand.New(rand.NewSource(seed))
 		ran := make(map[int]bool)
-		events := make([]*Event, len(times))
+		events := make([]Event, len(times))
 		for i, raw := range times {
 			i := i
 			events[i] = e.At(Time(raw), func() { ran[i] = true })
@@ -202,6 +202,117 @@ func TestEngineCancelProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEngineCancelThenReschedule(t *testing.T) {
+	e := New()
+	var got []int
+	ev := e.At(10, func() { got = append(got, 1) })
+	e.Cancel(ev)
+	e.At(10, func() { got = append(got, 2) }) // replacement at the same instant
+	e.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want only the rescheduled event", got)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("Executed() = %d, want 1", e.Executed())
+	}
+
+	// Cancel-then-reschedule from inside a handler: the handler cancels
+	// a pending event and schedules its replacement later.
+	e2 := New()
+	var fired []Time
+	pending := e2.At(20, func() { fired = append(fired, e2.Now()) })
+	e2.At(5, func() {
+		e2.Cancel(pending)
+		e2.At(30, func() { fired = append(fired, e2.Now()) })
+	})
+	e2.Run()
+	if len(fired) != 1 || fired[0] != 30 {
+		t.Fatalf("fired = %v, want [30]", fired)
+	}
+}
+
+func TestEngineRunUntilDiscardsCanceledHeads(t *testing.T) {
+	e := New()
+	ran := false
+	for _, at := range []Time{5, 6, 7} {
+		e.Cancel(e.At(at, func() { ran = true }))
+	}
+	e.At(20, func() {})
+	e.RunUntil(10)
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("Executed() = %d, want 0", e.Executed())
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+	// The canceled heads were in RunUntil's way and must have been
+	// collected; only the live event at 20 remains.
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunUntil(25)
+	if e.Executed() != 1 || e.Pending() != 0 {
+		t.Fatalf("after RunUntil(25): executed=%d pending=%d", e.Executed(), e.Pending())
+	}
+}
+
+// TestEnginePoolNoResurrection pins the pool-safety contract: a stale
+// handle to a fired or collected event must not cancel the unrelated
+// event that recycled its record.
+func TestEnginePoolNoResurrection(t *testing.T) {
+	e := New()
+	fired := e.At(5, func() {})
+	e.Run() // fires, record recycled
+
+	ran := false
+	e.At(10, func() { ran = true }) // reuses the record behind `fired`
+	e.Cancel(fired)                 // stale: must be a no-op
+	e.Run()
+	if !ran {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+
+	// Same via the canceled-and-collected path.
+	canceled := e.At(15, func() {})
+	e.Cancel(canceled)
+	e.Run() // discards and recycles the record
+	ran = false
+	e.At(20, func() { ran = true })
+	e.Cancel(canceled) // stale again
+	e.Run()
+	if !ran {
+		t.Fatal("stale canceled handle resurrected onto a recycled event")
+	}
+}
+
+// TestEngineScheduleIsAllocationFree checks the free list actually
+// eliminates steady-state allocation: once the agenda has reached its
+// high-water mark, At must reuse records instead of allocating.
+func TestEngineScheduleIsAllocationFree(t *testing.T) {
+	e := New()
+	var fn func()
+	n := 0
+	fn = func() {
+		if n < 100 {
+			n++
+			e.After(1, fn)
+		}
+	}
+	e.After(1, fn)
+	e.Step() // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		if !e.Step() {
+			t.Fatal("agenda drained early")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Step allocated %.1f objects/run, want 0", allocs)
 	}
 }
 
