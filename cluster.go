@@ -8,6 +8,7 @@ import (
 	"mralloc/internal/alg"
 	"mralloc/internal/core"
 	"mralloc/internal/live"
+	"mralloc/internal/transport"
 )
 
 // ClusterConfig sizes an in-process lock-manager cluster.
@@ -24,8 +25,25 @@ type ClusterConfig struct {
 	// node missing at most this many resources asks to borrow them.
 	LoanThreshold int
 	// Latency, when positive, delays every message — useful to make
-	// protocol behaviour visible in demos and tests.
+	// protocol behaviour visible in demos and tests. In-process
+	// clusters only.
 	Latency time.Duration
+
+	// Peers switches the cluster to multi-process mode: Peers[i] is the
+	// TCP address of the process hosting node i, and this process runs
+	// the nodes listed in Local, exchanging protocol messages over the
+	// wire (internal/wire binary codec, length-prefixed frames). Every
+	// participating process must use the same Nodes, Resources,
+	// Algorithm and Peers, and the Local sets must partition the nodes.
+	// cmd/mrallocd is a ready-made daemon around exactly this mode.
+	Peers []string
+	// Local lists the node ids hosted by this process (required with
+	// Peers). Acquire works only for local nodes.
+	Local []int
+	// Listen is this process's bind address. Empty defaults to
+	// Peers[Local[0]]; set it when the advertised address differs from
+	// the bindable one (e.g. listening on :port behind a hostname).
+	Listen string
 }
 
 // Cluster is a running in-process multi-resource lock manager. All
@@ -51,11 +69,39 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		opt.Loan = true
 		opt.LoanThreshold = cfg.LoanThreshold
 	}
-	inner, err := live.New(live.Config{
+	lcfg := live.Config{
 		Nodes:     cfg.Nodes,
 		Resources: cfg.Resources,
 		Latency:   cfg.Latency,
-	}, core.NewFactory(opt))
+	}
+	if len(cfg.Peers) > 0 {
+		if len(cfg.Peers) != cfg.Nodes {
+			return nil, fmt.Errorf("mralloc: %d peer addresses for %d nodes", len(cfg.Peers), cfg.Nodes)
+		}
+		if len(cfg.Local) == 0 {
+			return nil, fmt.Errorf("mralloc: multi-process mode needs Local node ids")
+		}
+		if cfg.Latency > 0 {
+			return nil, fmt.Errorf("mralloc: Latency applies to in-process clusters only")
+		}
+		listen := cfg.Listen
+		if listen == "" {
+			if l := cfg.Local[0]; l >= 0 && l < len(cfg.Peers) {
+				listen = cfg.Peers[l]
+			}
+		}
+		tr, err := transport.ListenTCP(listen, cfg.Nodes, cfg.Local...)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.Connect(cfg.Peers); err != nil {
+			tr.Close()
+			return nil, err
+		}
+		lcfg.Transport = tr
+		lcfg.Local = cfg.Local
+	}
+	inner, err := live.New(lcfg, core.NewFactory(opt))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,224 @@
+// Command mrallocd runs one process of a multi-process mralloc
+// cluster: it hosts one or more protocol nodes, listens for peer
+// traffic on TCP, and either serves passively (routing and owning
+// tokens on behalf of the cluster) or drives a synthetic workload and
+// reports what it measured.
+//
+// A 3-node loopback cluster, one daemon per node:
+//
+//	mrallocd -nodes 3 -resources 16 -local 0 -listen 127.0.0.1:7000 \
+//	         -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -ops 50 &
+//	mrallocd -nodes 3 -resources 16 -local 1 -listen 127.0.0.1:7001 \
+//	         -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -ops 50 &
+//	mrallocd -nodes 3 -resources 16 -local 2 -listen 127.0.0.1:7002 \
+//	         -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -ops 50
+//
+// Every daemon must be given the same -nodes, -resources, -alg and
+// -peers; each hosts a disjoint -local set covering all nodes. With
+// -ops 0 (default) a daemon participates until SIGINT/SIGTERM; with
+// -ops K it performs K random acquire/release cycles per local node,
+// prints per-kind message statistics, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"mralloc/internal/alg"
+	"mralloc/internal/experiments"
+	"mralloc/internal/live"
+	"mralloc/internal/transport"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 3, "total number of nodes N in the cluster")
+		resources = flag.Int("resources", 16, "number of resources M")
+		algName   = flag.String("alg", "counter-loan", "algorithm: counter-loan, counter-no-loan, incremental, bouabdallah")
+		listen    = flag.String("listen", "127.0.0.1:7000", "TCP listen address of this process")
+		peersCSV  = flag.String("peers", "", "comma-separated list of N addresses; entry i hosts node i")
+		localCSV  = flag.String("local", "0", "comma-separated node ids hosted by this process")
+		ops       = flag.Int("ops", 0, "random acquire/release cycles per local node (0 = serve until signal)")
+		linger    = flag.Duration("linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
+		phi       = flag.Int("phi", 4, "maximum resources per request (workload mode)")
+		think     = flag.Duration("think", time.Millisecond, "mean pause between requests (workload mode)")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+	if err := run(*nodes, *resources, *algName, *listen, *peersCSV, *localCSV, *ops, *phi, *think, *seed, *linger); err != nil {
+		fmt.Fprintln(os.Stderr, "mrallocd:", err)
+		os.Exit(1)
+	}
+}
+
+func factoryFor(name string) (alg.Factory, error) {
+	switch name {
+	case "counter-loan":
+		return experiments.Factory(experiments.WithLoan), nil
+	case "counter-no-loan":
+		return experiments.Factory(experiments.WithoutLoan), nil
+	case "incremental":
+		return experiments.Factory(experiments.Incremental), nil
+	case "bouabdallah":
+		return experiments.Factory(experiments.Bouabdallah), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseIDs(csv string, n int) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.Atoi(f)
+		if err != nil || id < 0 || id >= n {
+			return nil, fmt.Errorf("bad node id %q (cluster has %d nodes)", f, n)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no local node ids given")
+	}
+	return out, nil
+}
+
+func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, phi int, think time.Duration, seed int64, linger time.Duration) error {
+	factory, err := factoryFor(algName)
+	if err != nil {
+		return err
+	}
+	local, err := parseIDs(localCSV, nodes)
+	if err != nil {
+		return err
+	}
+	peers := strings.Split(peersCSV, ",")
+	if peersCSV == "" || len(peers) != nodes {
+		return fmt.Errorf("-peers must list exactly %d addresses, got %d", nodes, len(peers))
+	}
+	if phi < 1 || phi > resources {
+		return fmt.Errorf("-phi %d outside [1, %d]", phi, resources)
+	}
+
+	tr, err := transport.ListenTCP(listen, nodes, local...)
+	if err != nil {
+		return err
+	}
+	if err := tr.Connect(peers); err != nil {
+		tr.Close()
+		return err
+	}
+	cluster, err := live.New(live.Config{
+		Nodes:     nodes,
+		Resources: resources,
+		Transport: tr,
+		Local:     local,
+	}, factory)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	fmt.Printf("mrallocd: hosting nodes %v of %d (%s, M=%d) on %s\n",
+		local, nodes, algName, resources, tr.Addr())
+
+	if ops <= 0 {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("mrallocd: signal received, shutting down")
+		printStats(cluster.Stats())
+		return nil
+	}
+
+	// Workload mode: every local node performs ops random cycles.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(local))
+	startAll := time.Now()
+	for _, id := range local {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)*1000003))
+			for i := 0; i < ops; i++ {
+				k := 1 + rng.Intn(phi)
+				rs := make(map[int]bool, k)
+				for len(rs) < k {
+					rs[rng.Intn(resources)] = true
+				}
+				ids := make([]int, 0, k)
+				for r := range rs {
+					ids = append(ids, r)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				release, err := cluster.Acquire(ctx, id, ids...)
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("node %d: %w", id, err)
+					return
+				}
+				release()
+				if think > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() * float64(think)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	elapsed := time.Since(startAll)
+	fmt.Printf("mrallocd: %d nodes × %d ops in %v (%.0f acquires/s)\n",
+		len(local), ops, elapsed.Round(time.Millisecond),
+		float64(len(local)*ops)/elapsed.Seconds())
+	printStats(cluster.Stats())
+
+	// Keep serving: peers may still route requests through our nodes or
+	// wait on tokens we own. Exiting the moment our own workload ends
+	// would strand them (a node cannot hand off ownership on shutdown).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if linger > 0 {
+		fmt.Printf("mrallocd: workload done, serving peers for %v\n", linger)
+		select {
+		case <-sig:
+		case <-time.After(linger):
+		}
+	} else {
+		fmt.Println("mrallocd: workload done, serving peers until signal")
+		<-sig
+	}
+	// Serving peers sends more messages (token handoffs); report the
+	// final counters so the numbers across daemons add up.
+	fmt.Println("mrallocd: final counters after serving peers:")
+	printStats(cluster.Stats())
+	return nil
+}
+
+func printStats(stats map[string]int64) {
+	kinds := make([]string, 0, len(stats))
+	var total int64
+	for k, v := range stats {
+		kinds = append(kinds, k)
+		total += v
+	}
+	sort.Strings(kinds)
+	fmt.Printf("messages sent: total=%d\n", total)
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, stats[k])
+	}
+}

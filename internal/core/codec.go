@@ -1,0 +1,233 @@
+package core
+
+import (
+	"unsafe"
+
+	"mralloc/internal/network"
+	"mralloc/internal/resource"
+	"mralloc/internal/wire"
+)
+
+// The wire codecs for the two LASS message kinds. Tokens travel inside
+// LASS.Response batches, so the token layout — counter, obsolescence
+// stamps, waiting queue, loan queue, lender — is part of the Response
+// encoding. Field order is load-bearing: changing it is a wire break.
+
+func init() {
+	wire.Register("LASS.Request", encReqBatch, decReqBatch)
+	wire.Register("LASS.Response", encRespBatch, decRespBatch)
+	wire.RegisterSamples(codecSamples()...)
+}
+
+func encReqBatch(e *wire.Enc, m network.Message) {
+	b := m.(reqBatch)
+	e.Nodes(b.Visited)
+	e.Uvarint(uint64(len(b.Reqs)))
+	for _, r := range b.Reqs {
+		e.Uvarint(uint64(r.Kind))
+		e.Varint(int64(r.R))
+		e.Node(r.Init)
+		e.Varint(r.ID)
+		e.F64(r.Mark)
+		e.Set(r.Missing)
+		e.Bool(r.Single)
+	}
+}
+
+func decReqBatch(d *wire.Dec) network.Message {
+	var b reqBatch
+	b.Visited = d.Nodes()
+	n := d.Count()
+	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(request{}))) {
+		return b
+	}
+	b.Reqs = make([]request, 0, n)
+	for i := 0; i < n; i++ {
+		var r request
+		k := d.Uvarint()
+		if k > uint64(reqLoan) {
+			d.Fail("request kind %d out of range", k)
+			return b
+		}
+		r.Kind = reqKind(k)
+		r.R = d.Res()
+		r.Init = d.Site()
+		r.ID = d.Varint()
+		r.Mark = d.F64()
+		r.Missing = d.Set()
+		r.Single = d.Bool()
+		if r.Kind == reqLoan && r.Missing.Universe() == 0 {
+			// A loan request always names its missing set; protocol
+			// code runs set algebra on it, which panics on a universe
+			// mismatch the zero value would smuggle past shape checks.
+			d.Fail("loan request without a missing set")
+		}
+		if d.Err() != nil {
+			return b
+		}
+		b.Reqs = append(b.Reqs, r)
+	}
+	return b
+}
+
+func encRespBatch(e *wire.Enc, m network.Message) {
+	b := m.(respBatch)
+	e.Uvarint(uint64(len(b.Counters)))
+	for _, c := range b.Counters {
+		e.Varint(int64(c.R))
+		e.Varint(c.Val)
+		e.Varint(c.ID)
+	}
+	e.Uvarint(uint64(len(b.Tokens)))
+	for _, t := range b.Tokens {
+		encToken(e, t)
+	}
+}
+
+func decRespBatch(d *wire.Dec) network.Message {
+	var b respBatch
+	n := d.Count()
+	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(counterVal{}))) {
+		return b
+	}
+	if n > 0 {
+		b.Counters = make([]counterVal, 0, n)
+		for i := 0; i < n; i++ {
+			var c counterVal
+			c.R = d.Res()
+			c.Val = d.Varint()
+			c.ID = d.Varint()
+			if d.Err() != nil {
+				return b
+			}
+			b.Counters = append(b.Counters, c)
+		}
+	}
+	n = d.Count()
+	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(token{}))) {
+		return b
+	}
+	if n > 0 {
+		b.Tokens = make([]*token, 0, n)
+		for i := 0; i < n; i++ {
+			t := decToken(d)
+			if d.Err() != nil {
+				return b
+			}
+			b.Tokens = append(b.Tokens, t)
+		}
+	}
+	return b
+}
+
+func encToken(e *wire.Enc, t *token) {
+	e.Varint(int64(t.R))
+	e.Varint(t.Counter)
+	e.Int64s(t.LastReqC)
+	e.Int64s(t.LastCS)
+	e.Uvarint(uint64(len(t.Queue)))
+	for _, q := range t.Queue {
+		encRef(e, q)
+	}
+	e.Uvarint(uint64(len(t.Loans)))
+	for _, l := range t.Loans {
+		encRef(e, l.Ref)
+		e.Varint(int64(l.R))
+		e.Set(l.Missing)
+	}
+	e.Node(t.Lender)
+}
+
+func decToken(d *wire.Dec) *token {
+	t := &token{}
+	t.R = d.Res()
+	t.Counter = d.Varint()
+	t.LastReqC = d.Int64s()
+	t.LastCS = d.Int64s()
+	// The stamp vectors are indexed by site id all over the node code;
+	// under shape validation they must be exactly N long.
+	if nn, _ := d.Shape(); nn > 0 && d.Err() == nil &&
+		(len(t.LastReqC) != nn || len(t.LastCS) != nn) {
+		d.Fail("token stamp vectors of %d/%d entries in a cluster of %d",
+			len(t.LastReqC), len(t.LastCS), nn)
+		return t
+	}
+	n := d.Count()
+	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(reqRef{}))) {
+		return t
+	}
+	if n > 0 {
+		t.Queue = make(wqueue, 0, n)
+		for i := 0; i < n; i++ {
+			r := decRef(d)
+			if d.Err() != nil {
+				return t
+			}
+			t.Queue = append(t.Queue, r)
+		}
+	}
+	n = d.Count()
+	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(loanEntry{}))) {
+		return t
+	}
+	if n > 0 {
+		t.Loans = make([]loanEntry, 0, n)
+		for i := 0; i < n; i++ {
+			var l loanEntry
+			l.Ref = decRef(d)
+			l.R = d.Res()
+			l.Missing = d.Set()
+			if l.Missing.Universe() == 0 && d.Err() == nil {
+				d.Fail("loan entry without a missing set")
+			}
+			if d.Err() != nil {
+				return t
+			}
+			t.Loans = append(t.Loans, l)
+		}
+	}
+	t.Lender = d.Node()
+	return t
+}
+
+func encRef(e *wire.Enc, r reqRef) {
+	e.Node(r.Site)
+	e.Varint(r.ID)
+	e.F64(r.Mark)
+}
+
+func decRef(d *wire.Dec) reqRef {
+	return reqRef{Site: d.Site(), ID: d.Varint(), Mark: d.F64()}
+}
+
+// codecSamples builds one representative message per shape the LASS
+// protocol produces: plain and loan requests, counter replies, and a
+// token carrying queue, loans and lender state.
+func codecSamples() []network.Message {
+	missing := resource.FromIDs(8, 2, 5)
+	tok := newToken(3, 4)
+	tok.Counter = 17
+	tok.LastReqC[1] = 6
+	tok.LastCS[2] = 5
+	tok.Queue.Insert(reqRef{Site: 1, ID: 7, Mark: 2.5})
+	tok.Queue.Insert(reqRef{Site: 3, ID: 4, Mark: 1.25})
+	tok.Loans = append(tok.Loans, loanEntry{Ref: reqRef{Site: 2, ID: 9, Mark: 3}, R: 3, Missing: missing})
+	tok.Lender = 2
+	return []network.Message{
+		reqBatch{
+			Visited: []network.NodeID{0, 2},
+			Reqs: []request{
+				{Kind: reqCnt, R: 1, Init: 0, ID: 3},
+				{Kind: reqCnt, R: 2, Init: 0, ID: 3, Single: true},
+				{Kind: reqRes, R: 4, Init: 2, ID: 8, Mark: 1.5},
+				{Kind: reqLoan, R: 5, Init: 1, ID: 2, Mark: 0.5, Missing: missing},
+			},
+		},
+		reqBatch{},
+		respBatch{
+			Counters: []counterVal{{R: 1, Val: 42, ID: 3}, {R: 2, Val: 7, ID: 3}},
+			Tokens:   []*token{tok, newToken(0, 4)},
+		},
+		respBatch{Counters: []counterVal{{R: 0, Val: 1, ID: 1}}},
+	}
+}

@@ -1,0 +1,41 @@
+package incremental
+
+import (
+	"mralloc/internal/naimitrehel"
+	"mralloc/internal/network"
+	"mralloc/internal/wire"
+)
+
+// Wire codec for the incremental algorithm's wrapped Naimi–Tréhel
+// messages. The token payload is always nil here (the per-resource
+// mutexes carry no embedder state), so only the instance tag and the
+// two Msg fields cross the wire.
+
+func init() {
+	wire.Register("Inc.Request", encWireMsg, decWireMsg)
+	wire.Register("Inc.Token", encWireMsg, decWireMsg)
+	wire.RegisterSamples(
+		wireMsg{Inst: 3, M: naimitrehel.Msg{Type: naimitrehel.MsgRequest, Requester: 2}},
+		wireMsg{Inst: 0, M: naimitrehel.Msg{Type: naimitrehel.MsgToken}},
+	)
+}
+
+func encWireMsg(e *wire.Enc, m network.Message) {
+	w := m.(wireMsg)
+	e.Varint(int64(w.Inst))
+	e.Uvarint(uint64(w.M.Type))
+	e.Node(w.M.Requester)
+}
+
+func decWireMsg(d *wire.Dec) network.Message {
+	var w wireMsg
+	w.Inst = d.Res()
+	ty := d.Uvarint()
+	if ty > uint64(naimitrehel.MsgToken) {
+		d.Fail("naimitrehel message type %d out of range", ty)
+		return w
+	}
+	w.M.Type = naimitrehel.MsgType(ty)
+	w.M.Requester = d.Site()
+	return w
+}

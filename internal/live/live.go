@@ -1,9 +1,18 @@
 // Package live runs multi-resource allocation nodes as real concurrent
-// processes: one goroutine per site, channels as reliable FIFO links.
-// The same alg.Node state machines that run under the deterministic
-// simulation run here unchanged, which is both a strong test (the race
-// detector sees real interleavings) and the basis of the public
-// in-process lock-manager API (package mralloc).
+// processes: one goroutine per site, a transport.Transport as the
+// message fabric. The same alg.Node state machines that run under the
+// deterministic simulation run here unchanged, which is both a strong
+// test (the race detector sees real interleavings) and the basis of the
+// public lock-manager API (package mralloc).
+//
+// The transport decides the deployment shape. With the default
+// in-process transport every node lives in this process and messages
+// are direct handler calls; with a TCP transport (internal/transport)
+// a cluster spans OS processes, each hosting the subset of nodes named
+// by Config.Local, and messages cross the wire through the
+// internal/wire codec. The protocol cannot tell the difference — the
+// transport contract (reliable FIFO per ordered pair, see
+// internal/transport) is exactly the paper's hypotheses 1–3.
 //
 // Each site owns an event loop goroutine that serializes its protocol
 // activations — exactly the atomicity the algorithms assume. Message
@@ -21,87 +30,154 @@ import (
 	"mralloc/internal/network"
 	"mralloc/internal/resource"
 	"mralloc/internal/sim"
+	"mralloc/internal/transport"
 )
 
 // Config sizes a live cluster.
 type Config struct {
 	Nodes     int
 	Resources int
-	// Latency, when positive, delays every message delivery (FIFO per
-	// link is preserved because each link has one forwarding queue).
+	// Latency, when positive, delays every message delivery of the
+	// built-in in-process transport (FIFO per link is preserved). It
+	// cannot be combined with a custom Transport.
 	Latency time.Duration
+	// Transport, when non-nil, carries the cluster's messages; the
+	// cluster takes ownership and closes it on Close. Nil selects the
+	// in-process transport, which requires every node to be local.
+	Transport transport.Transport
+	// Local lists the node ids hosted by this process. Nil or empty
+	// means all of them (the single-process configuration). Remote
+	// nodes are reachable through the transport but cannot be driven
+	// by this cluster's Acquire or inspected.
+	Local []int
 }
 
-// Cluster is a set of running protocol nodes.
+// Cluster is a set of running protocol nodes — all of them in the
+// single-process configuration, this process's share of them in a
+// multi-process deployment.
 type Cluster struct {
 	cfg   Config
-	loops []*loop
+	tr    transport.Transport
+	loops []*loop // indexed by node id; nil for nodes hosted elsewhere
 	start time.Time
-
-	stats   map[string]int64
-	statsMu sync.Mutex
 
 	closed  chan struct{}
 	closeMu sync.Mutex
 }
 
-// New builds and starts a cluster running the given algorithm.
+// New builds and starts a cluster running the given algorithm. The
+// factory builds all Nodes state machines; only the local ones are
+// attached and driven, so every process of a multi-process cluster
+// calls New with the same factory and a disjoint Local set.
 func New(cfg Config, factory alg.Factory) (*Cluster, error) {
+	// The cluster owns cfg.Transport from this call on: every error
+	// path must close it, or a rejected configuration leaks the
+	// listener and its goroutines.
+	fail := func(format string, args ...any) (*Cluster, error) {
+		if cfg.Transport != nil {
+			cfg.Transport.Close()
+		}
+		return nil, fmt.Errorf("live: "+format, args...)
+	}
 	if cfg.Nodes < 1 || cfg.Resources < 1 {
-		return nil, fmt.Errorf("live: need ≥1 node and ≥1 resource, got %d/%d", cfg.Nodes, cfg.Resources)
+		return fail("need ≥1 node and ≥1 resource, got %d/%d", cfg.Nodes, cfg.Resources)
+	}
+	local := cfg.Local
+	if len(local) == 0 {
+		local = make([]int, cfg.Nodes)
+		for i := range local {
+			local[i] = i
+		}
+	}
+	seen := make(map[int]bool, len(local))
+	for _, id := range local {
+		if id < 0 || id >= cfg.Nodes {
+			return fail("local node %d outside [0,%d)", id, cfg.Nodes)
+		}
+		if seen[id] {
+			return fail("local node %d listed twice", id)
+		}
+		seen[id] = true
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		if len(local) != cfg.Nodes {
+			return fail("hosting %d of %d nodes needs a transport (the in-process fabric cannot reach the rest)", len(local), cfg.Nodes)
+		}
+		tr = transport.NewMem(cfg.Nodes, cfg.Latency)
+	} else {
+		if cfg.Latency > 0 {
+			return fail("Latency applies only to the built-in transport")
+		}
+		if tr.N() != cfg.Nodes {
+			return fail("transport spans %d nodes, cluster has %d", tr.N(), cfg.Nodes)
+		}
+	}
+	for _, id := range local {
+		if !tr.Hosts(network.NodeID(id)) {
+			return fail("local node %d is not hosted by the transport endpoint", id)
+		}
+	}
+	if sv, ok := tr.(transport.ShapeValidator); ok {
+		sv.SetShape(cfg.Nodes, cfg.Resources)
 	}
 	nodes := factory(cfg.Nodes, cfg.Resources)
 	if len(nodes) != cfg.Nodes {
+		tr.Close()
 		return nil, fmt.Errorf("live: factory built %d nodes, want %d", len(nodes), cfg.Nodes)
 	}
 	c := &Cluster{
 		cfg:    cfg,
+		tr:     tr,
 		start:  time.Now(),
-		stats:  make(map[string]int64),
 		closed: make(chan struct{}),
 	}
 	c.loops = make([]*loop, cfg.Nodes)
-	for i := range nodes {
-		c.loops[i] = newLoop(c, network.NodeID(i), nodes[i])
+	for _, id := range local {
+		c.loops[id] = newLoop(c, network.NodeID(id), nodes[id])
 	}
-	for i := range nodes {
-		nodes[i].Attach(&liveEnv{c: c, l: c.loops[i]})
+	// Bind before attaching: an Attach may not send, but a peer process
+	// already running can — the transport buffers until Bind either way.
+	for _, id := range local {
+		l := c.loops[id]
+		tr.Bind(l.id, func(from network.NodeID, m network.Message) {
+			l.post(envelope{from: from, msg: m})
+		})
 	}
-	for _, l := range c.loops {
-		go l.run()
+	for _, id := range local {
+		nodes[id].Attach(&liveEnv{c: c, l: c.loops[id]})
+	}
+	for _, id := range local {
+		go c.loops[id].run()
 	}
 	return c, nil
 }
 
-// N reports the number of nodes.
+// N reports the number of nodes in the whole cluster.
 func (c *Cluster) N() int { return c.cfg.Nodes }
 
 // M reports the number of resources.
 func (c *Cluster) M() int { return c.cfg.Resources }
 
-// Stats snapshots the per-kind message counters.
-func (c *Cluster) Stats() map[string]int64 {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	out := make(map[string]int64, len(c.stats))
-	for k, v := range c.stats {
-		out[k] = v
-	}
-	return out
+// Local reports whether node id is hosted by this cluster instance.
+func (c *Cluster) Local(id int) bool {
+	return id >= 0 && id < c.cfg.Nodes && c.loops[id] != nil
 }
 
-func (c *Cluster) count(kind string) {
-	c.statsMu.Lock()
-	c.stats[kind]++
-	c.statsMu.Unlock()
+// Stats snapshots the per-kind counters of messages sent through this
+// process's transport endpoint. In a multi-process cluster each
+// process counts its own sends; summing over processes gives the
+// cluster total.
+func (c *Cluster) Stats() map[string]int64 {
+	return c.tr.Stats()
 }
 
 // Inspect runs fn against node id's protocol state inside that node's
 // event loop, so fn sees a quiesced snapshot without data races. It
-// reports false when the cluster is closed. fn must not block on other
-// cluster operations.
+// reports false when the cluster is closed or the node is not local.
+// fn must not block on other cluster operations.
 func (c *Cluster) Inspect(id int, fn func(alg.Node)) bool {
-	if id < 0 || id >= c.cfg.Nodes {
+	if !c.Local(id) {
 		return false
 	}
 	l := c.loops[id]
@@ -117,8 +193,8 @@ func (c *Cluster) Inspect(id int, fn func(alg.Node)) bool {
 	}
 }
 
-// Close stops every node loop. Outstanding Acquire calls return errors.
-// Close is idempotent.
+// Close stops every local node loop and closes the transport.
+// Outstanding Acquire calls return errors. Close is idempotent.
 func (c *Cluster) Close() {
 	c.closeMu.Lock()
 	defer c.closeMu.Unlock()
@@ -129,8 +205,11 @@ func (c *Cluster) Close() {
 	}
 	close(c.closed)
 	for _, l := range c.loops {
-		l.stop()
+		if l != nil {
+			l.stop()
+		}
 	}
+	c.tr.Close()
 }
 
 // Acquire requests exclusive access to the given resources on behalf of
@@ -140,10 +219,11 @@ func (c *Cluster) Close() {
 // revoked mid-protocol — is released automatically when it arrives.
 //
 // A node serves one request at a time (the protocol's hypothesis 4);
-// concurrent Acquire calls on one node serialize.
+// concurrent Acquire calls on one node serialize. Only locally hosted
+// nodes can acquire.
 func (c *Cluster) Acquire(ctx context.Context, id int, resources ...int) (func(), error) {
-	if id < 0 || id >= c.cfg.Nodes {
-		return nil, fmt.Errorf("live: no node %d", id)
+	if !c.Local(id) {
+		return nil, fmt.Errorf("live: no local node %d", id)
 	}
 	if len(resources) == 0 {
 		return nil, fmt.Errorf("live: empty resource set")
@@ -211,9 +291,6 @@ type loop struct {
 	slot chan struct{} // capacity 1: one outstanding request per node
 
 	granted chan struct{} // the in-flight request's grant signal
-
-	outMu  sync.Mutex // guards outbox (latency mode only)
-	outbox map[network.NodeID]chan network.Message
 }
 
 // mailbox is the loop's unbounded multi-producer queue. The consumer
@@ -362,45 +439,5 @@ func (e *liveEnv) Now() sim.Time { return sim.Time(time.Since(e.c.start)) }
 func (e *liveEnv) Granted() { e.l.onGranted() }
 
 func (e *liveEnv) Send(to network.NodeID, m network.Message) {
-	e.c.count(m.Kind())
-	dest := e.c.loops[to]
-	if e.c.cfg.Latency <= 0 {
-		dest.post(envelope{from: e.l.id, msg: m})
-		return
-	}
-	// Latency simulation: posting from this goroutine after a sleep
-	// would reorder messages, so the per-link FIFO is preserved by
-	// stamping a deadline and letting a dedicated goroutine deliver.
-	// Simplicity over throughput: one goroutine per in-flight message,
-	// ordering restored by the destination pump being per-sender FIFO
-	// only under zero latency — so latency mode routes through the
-	// sender's ordered outbox instead.
-	e.l.sendDelayed(e.c, to, m)
-}
-
-// sendDelayed delivers through a per-destination ordered queue so that
-// equal per-message delays keep FIFO order per link.
-func (l *loop) sendDelayed(c *Cluster, to network.NodeID, m network.Message) {
-	l.outMu.Lock()
-	if l.outbox == nil {
-		l.outbox = make(map[network.NodeID]chan network.Message)
-	}
-	ch, ok := l.outbox[to]
-	if !ok {
-		ch = make(chan network.Message, 1024)
-		l.outbox[to] = ch
-		dest := c.loops[to]
-		from := l.id
-		lat := c.cfg.Latency
-		go func() {
-			for msg := range ch {
-				time.Sleep(lat)
-				if !dest.post(envelope{from: from, msg: msg}) {
-					return // cluster closing
-				}
-			}
-		}()
-	}
-	l.outMu.Unlock()
-	ch <- m
+	e.c.tr.Send(e.l.id, to, m)
 }

@@ -1,0 +1,66 @@
+package pmutex
+
+import (
+	"unsafe"
+
+	"mralloc/internal/network"
+	"mralloc/internal/wire"
+)
+
+// Wire codecs for the standalone prioritized mutex, so that embedders
+// running it over a real transport (and the codec test battery) cover
+// its two message kinds alongside the multi-resource protocols.
+
+func init() {
+	wire.Register("PMutex.Request",
+		func(e *wire.Enc, m network.Message) {
+			r := m.(reqMsg)
+			e.Node(r.Site)
+			e.Varint(r.ID)
+			e.F64(float64(r.Pri))
+			e.Nodes(r.Visited)
+		},
+		func(d *wire.Dec) network.Message {
+			return reqMsg{Site: d.Site(), ID: d.Varint(), Pri: Priority(d.F64()), Visited: d.Nodes()}
+		})
+	wire.Register("PMutex.Token",
+		func(e *wire.Enc, m network.Message) {
+			t := m.(tokMsg)
+			e.Uvarint(uint64(len(t.Queue)))
+			for _, q := range t.Queue {
+				e.Node(q.Site)
+				e.Varint(q.ID)
+				e.F64(float64(q.Pri))
+			}
+			e.Int64s(t.Served)
+		},
+		func(d *wire.Dec) network.Message {
+			var t tokMsg
+			n := d.Count()
+			if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(entry{}))) {
+				return t
+			}
+			if n > 0 {
+				t.Queue = make([]entry, 0, n)
+				for i := 0; i < n; i++ {
+					q := entry{Site: d.Site(), ID: d.Varint(), Pri: Priority(d.F64())}
+					if d.Err() != nil {
+						return t
+					}
+					t.Queue = append(t.Queue, q)
+				}
+			}
+			t.Served = d.Int64s()
+			// Served is indexed by site id; under shape validation it
+			// must be exactly N long.
+			if nn, _ := d.Shape(); nn > 0 && d.Err() == nil && len(t.Served) != nn {
+				d.Fail("served vector of %d entries in a cluster of %d", len(t.Served), nn)
+			}
+			return t
+		})
+	wire.RegisterSamples(
+		reqMsg{Site: 4, ID: 11, Pri: 2.5, Visited: []network.NodeID{4, 1}},
+		tokMsg{Queue: []entry{{Site: 1, ID: 3, Pri: 0.5}, {Site: 2, ID: 1, Pri: 1}}, Served: []int64{0, 3, 1}},
+		tokMsg{},
+	)
+}

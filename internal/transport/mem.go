@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mralloc/internal/network"
+)
+
+// Mem is the in-process transport: all N nodes live on this endpoint
+// and a Send is a direct (per-destination-serialized) handler call, so
+// messages never leave the process and never serialize. This is the
+// channel fabric internal/live always ran on, extracted behind the
+// Transport interface; its zero-latency path is the production
+// in-process lock-manager configuration.
+//
+// A positive latency delays every delivery by that amount while
+// preserving FIFO per ordered pair: each (sender, destination) link
+// gets one forwarding queue drained by one goroutine, so equal
+// per-message delays cannot reorder a link.
+type Mem struct {
+	n       int
+	latency time.Duration
+	binder  *binder
+	stats   kindStats
+
+	closeMu sync.Mutex
+	closed  chan struct{}
+
+	// links maps sender*n+destination to that link's delay queue
+	// (latency mode only, created lazily).
+	linkMu sync.Mutex
+	links  map[int]chan pendingMsg
+	wg     sync.WaitGroup
+}
+
+// NewMem creates an in-process transport for n nodes. A positive
+// latency delays every delivery (demos, protocol-visibility tests).
+func NewMem(n int, latency time.Duration) *Mem {
+	if n < 1 {
+		panic(fmt.Sprintf("transport: need ≥1 node, got %d", n))
+	}
+	return &Mem{
+		n:       n,
+		latency: latency,
+		binder:  newBinder(n),
+		closed:  make(chan struct{}),
+	}
+}
+
+// N implements Transport.
+func (t *Mem) N() int { return t.n }
+
+// Hosts implements Transport: every node is local to the in-process
+// fabric.
+func (t *Mem) Hosts(id network.NodeID) bool { return id >= 0 && int(id) < t.n }
+
+// Bind implements Transport.
+func (t *Mem) Bind(id network.NodeID, h Handler) {
+	t.binder.bind(id, h)
+}
+
+// Send implements Transport.
+func (t *Mem) Send(from, to network.NodeID, m network.Message) {
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	t.stats.count(m.Kind())
+	if t.latency <= 0 {
+		t.binder.deliver(to, from, m)
+		return
+	}
+	select {
+	case t.link(from, to) <- pendingMsg{from, m}:
+	case <-t.closed:
+		// Closed mid-send: the link's forwarder may be gone; drop.
+	}
+}
+
+// link returns the delay queue of one ordered pair, starting its
+// forwarding goroutine on first use.
+func (t *Mem) link(from, to network.NodeID) chan pendingMsg {
+	key := int(from)*t.n + int(to)
+	t.linkMu.Lock()
+	defer t.linkMu.Unlock()
+	if t.links == nil {
+		t.links = make(map[int]chan pendingMsg)
+	}
+	ch, ok := t.links[key]
+	if !ok {
+		ch = make(chan pendingMsg, 1024)
+		t.links[key] = ch
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for {
+				select {
+				case p := <-ch:
+					time.Sleep(t.latency)
+					t.binder.deliver(to, p.from, p.m)
+				case <-t.closed:
+					return
+				}
+			}
+		}()
+	}
+	return ch
+}
+
+// Stats implements Transport.
+func (t *Mem) Stats() map[string]int64 { return t.stats.snapshot() }
+
+// Close implements Transport.
+func (t *Mem) Close() error {
+	t.closeMu.Lock()
+	select {
+	case <-t.closed:
+		t.closeMu.Unlock()
+		return nil
+	default:
+	}
+	close(t.closed)
+	t.closeMu.Unlock()
+	t.wg.Wait()
+	return nil
+}

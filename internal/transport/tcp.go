@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"mralloc/internal/network"
+	"mralloc/internal/wire"
+)
+
+// maxFrame bounds one wire frame. Real protocol messages are a few KB
+// at most (a token carries two N-sized stamp vectors); the cap only
+// keeps a corrupt or hostile length prefix from demanding gigabytes.
+const maxFrame = 1 << 24
+
+// dialWindow is how long a Send retries dialing a peer that is not up
+// yet, which absorbs multi-process startup races on loopback.
+const dialWindow = 10 * time.Second
+
+// TCP is the socket transport: one endpoint per process, hosting a
+// subset of the cluster's nodes, every message encoded by internal/wire
+// and framed with a length prefix plus sender/receiver identifiers.
+//
+// Topology: each endpoint listens on one address; Connect supplies the
+// address of every node's host process. Connections are dialed lazily,
+// one per ordered pair of processes, and all traffic from this process
+// to one peer shares that connection — which is what makes FIFO per
+// ordered node pair hold: a sending node's messages enter the
+// connection in send order (the per-node event loop sends one at a
+// time), and the receiver drains frames sequentially.
+//
+// Sends to a node hosted by this same endpoint short-circuit through
+// memory without touching the codec; per-kind stats count them all the
+// same, so an in-process and a multi-process cluster report identical
+// message costs for identical protocol runs.
+type TCP struct {
+	n      int
+	local  map[network.NodeID]bool
+	ln     net.Listener
+	binder *binder
+	stats  kindStats
+
+	peersMu sync.RWMutex
+	peers   []string // per node; nil until Connect
+
+	// resources, when set via SetShape, tightens inbound frame
+	// validation to the cluster's resource universe.
+	shapeMu   sync.RWMutex
+	resources int
+
+	connMu sync.Mutex
+	conns  map[string]*outConn
+
+	closeMu sync.Mutex
+	closed  chan struct{}
+	wg      sync.WaitGroup
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// outConn is one dialed connection plus its write-side scratch.
+type outConn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	buf    []byte // encoded payload scratch
+	prefix []byte // framed (length-prefixed) payload scratch
+	broken bool
+}
+
+// ListenTCP opens an endpoint for a cluster of n nodes, hosting the
+// given local node ids (all ids when none are given). The address may
+// use port 0; Addr reports the bound address to hand to peers. Call
+// Connect before the first Send.
+func ListenTCP(addr string, n int, local ...int) (*TCP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: need ≥1 node, got %d", n)
+	}
+	loc := make(map[network.NodeID]bool, len(local))
+	if len(local) == 0 {
+		for i := 0; i < n; i++ {
+			loc[network.NodeID(i)] = true
+		}
+	}
+	for _, id := range local {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("transport: local node %d outside [0,%d)", id, n)
+		}
+		loc[network.NodeID(id)] = true
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		n:      n,
+		local:  loc,
+		ln:     ln,
+		binder: newBinder(n),
+		conns:  make(map[string]*outConn),
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr reports the endpoint's bound listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Connect supplies the address of every node's host process (addrs[i]
+// hosts node i). Local nodes may carry any placeholder — they are
+// delivered in memory.
+func (t *TCP) Connect(addrs []string) error {
+	if len(addrs) != t.n {
+		return fmt.Errorf("transport: got %d peer addresses for %d nodes", len(addrs), t.n)
+	}
+	t.peersMu.Lock()
+	t.peers = append([]string(nil), addrs...)
+	t.peersMu.Unlock()
+	return nil
+}
+
+// N implements Transport.
+func (t *TCP) N() int { return t.n }
+
+// Hosts implements Transport.
+func (t *TCP) Hosts(id network.NodeID) bool { return t.local[id] }
+
+// SetShape implements ShapeValidator: inbound frames must then carry
+// site ids below nodes (checked against the listen-time n regardless)
+// and resource ids/universes matching resources.
+func (t *TCP) SetShape(nodes, resources int) {
+	t.shapeMu.Lock()
+	t.resources = resources
+	t.shapeMu.Unlock()
+}
+
+// Bind implements Transport.
+func (t *TCP) Bind(id network.NodeID, h Handler) {
+	if !t.local[id] {
+		panic(fmt.Sprintf("transport: binding node %d not hosted by this endpoint", id))
+	}
+	t.binder.bind(id, h)
+}
+
+// Send implements Transport.
+func (t *TCP) Send(from, to network.NodeID, m network.Message) {
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	t.stats.count(m.Kind())
+	if t.local[to] {
+		t.binder.deliver(to, from, m)
+		return
+	}
+	t.peersMu.RLock()
+	peers := t.peers
+	t.peersMu.RUnlock()
+	if peers == nil {
+		t.fail(fmt.Errorf("transport: Send before Connect"))
+		return
+	}
+	oc := t.conn(peers[to])
+	if oc == nil {
+		return // closed or unreachable; error recorded
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.broken {
+		return
+	}
+	oc.buf = binary.AppendVarint(oc.buf[:0], int64(from))
+	oc.buf = binary.AppendVarint(oc.buf, int64(to))
+	payload, err := wire.Append(oc.buf, m)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	oc.buf = payload // keep the grown capacity for the next frame
+	frame := binary.AppendUvarint(oc.prefix[:0], uint64(len(payload)))
+	frame = append(frame, payload...)
+	oc.prefix = frame
+	if _, err := oc.c.Write(frame); err != nil {
+		oc.broken = true // next Send to this peer redials
+		t.dropConn(oc)
+		select {
+		case <-t.closed:
+		default:
+			t.fail(fmt.Errorf("transport: write to %s: %w", oc.c.RemoteAddr(), err))
+		}
+	}
+}
+
+// conn returns the (dialed) connection to addr, dialing with retries
+// inside dialWindow so that peers still starting up are absorbed.
+func (t *TCP) conn(addr string) *outConn {
+	t.connMu.Lock()
+	oc, ok := t.conns[addr]
+	t.connMu.Unlock()
+	if ok {
+		return oc
+	}
+	deadline := time.Now().Add(dialWindow)
+	var lastErr error
+	for {
+		select {
+		case <-t.closed:
+			return nil
+		default:
+		}
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			t.connMu.Lock()
+			select {
+			case <-t.closed:
+				// Close ran while the dial was in flight and has already
+				// swept t.conns; registering now would leak the socket.
+				t.connMu.Unlock()
+				c.Close()
+				return nil
+			default:
+			}
+			if existing, ok := t.conns[addr]; ok {
+				t.connMu.Unlock()
+				c.Close() // lost a dial race; use the winner
+				return existing
+			}
+			oc = &outConn{c: c}
+			t.conns[addr] = oc
+			t.connMu.Unlock()
+			return oc
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			t.fail(fmt.Errorf("transport: dial %s: %w", addr, lastErr))
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// dropConn removes a broken connection so the next Send redials.
+func (t *TCP) dropConn(oc *outConn) {
+	oc.c.Close()
+	t.connMu.Lock()
+	for addr, c := range t.conns {
+		if c == oc {
+			delete(t.conns, addr)
+		}
+	}
+	t.connMu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.fail(fmt.Errorf("transport: accept: %w", err))
+			}
+			return
+		}
+		t.wg.Add(1)
+		go t.serve(c)
+	}
+}
+
+// serve drains one inbound connection, decoding frames sequentially —
+// which is exactly what preserves per-link FIFO on the receive side.
+func (t *TCP) serve(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() { // unblock the pending Read when the transport closes
+		select {
+		case <-t.closed:
+			c.Close()
+		case <-done: // the connection ended first; don't outlive it
+		}
+	}()
+	br := bufio.NewReader(c)
+	for {
+		// Re-read the shape per frame: a peer may connect (and send)
+		// before this process's cluster has announced it via SetShape.
+		t.shapeMu.RLock()
+		resources := t.resources
+		t.shapeMu.RUnlock()
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			t.connErr(c, err)
+			return
+		}
+		if size > maxFrame {
+			t.connErr(c, fmt.Errorf("frame of %d bytes exceeds limit %d", size, maxFrame))
+			return
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			t.connErr(c, err)
+			return
+		}
+		d := wire.NewDecFor(frame, t.n, resources)
+		from := d.Site()
+		to := d.Site()
+		if d.Err() != nil {
+			t.connErr(c, d.Err())
+			return
+		}
+		if !t.local[to] {
+			t.connErr(c, fmt.Errorf("frame for node %d, not hosted here", to))
+			return
+		}
+		m, err := wire.DecodeFor(d.Rest(), t.n, resources)
+		if err != nil {
+			t.connErr(c, err)
+			return
+		}
+		t.binder.deliver(to, from, m)
+	}
+}
+
+// connErr records an inbound connection failure unless it is a normal
+// shutdown (transport closed, or the peer simply closed its side).
+func (t *TCP) connErr(c net.Conn, err error) {
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	if errors.Is(err, io.EOF) {
+		return
+	}
+	t.fail(fmt.Errorf("transport: conn from %s: %w", c.RemoteAddr(), err))
+}
+
+// fail records the first asynchronous transport error and announces it
+// on stderr — a dropped frame in a token protocol surfaces as a silent
+// hang, so the cause must be visible somewhere even when nobody polls
+// Err.
+func (t *TCP) fail(err error) {
+	t.errMu.Lock()
+	if t.firstErr == nil {
+		t.firstErr = err
+		fmt.Fprintln(os.Stderr, "mralloc/transport:", err)
+	}
+	t.errMu.Unlock()
+}
+
+// Err reports the first asynchronous transport error observed (dial
+// failure past the retry window, broken write, corrupt inbound frame),
+// or nil. Also returned by Close.
+func (t *TCP) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.firstErr
+}
+
+// Stats implements Transport.
+func (t *TCP) Stats() map[string]int64 { return t.stats.snapshot() }
+
+// Close implements Transport. It reports the first asynchronous
+// transport error observed during the endpoint's lifetime, if any.
+func (t *TCP) Close() error {
+	t.closeMu.Lock()
+	select {
+	case <-t.closed:
+		t.closeMu.Unlock()
+	default:
+		close(t.closed)
+		t.closeMu.Unlock()
+		t.ln.Close()
+		t.connMu.Lock()
+		for _, oc := range t.conns {
+			oc.c.Close()
+		}
+		t.connMu.Unlock()
+		t.wg.Wait()
+	}
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.firstErr
+}

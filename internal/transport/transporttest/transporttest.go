@@ -1,0 +1,296 @@
+// Package transporttest is the reusable conformance suite for
+// transport.Transport implementations. Any transport that carries a
+// live cluster must pass TestTransport: it asserts exactly the
+// guarantees the algorithms assume — reliable delivery, FIFO per
+// ordered node pair, no duplication, accurate per-kind statistics, and
+// clean close semantics.
+//
+// The suite drives the transport through the same endpoint topology a
+// cluster would: a Factory returns one endpoint per node (an
+// in-process transport returns the same endpoint N times; a socket
+// transport returns N connected endpoints). Message codecs for the
+// suite's own test messages are registered with internal/wire, so a
+// codec-backed transport needs no special support.
+package transporttest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mralloc/internal/network"
+	"mralloc/internal/transport"
+	"mralloc/internal/wire"
+)
+
+// Msg is the suite's test message. K discriminates the two registered
+// kinds so that per-kind statistics can be checked.
+type Msg struct {
+	K    string
+	From network.NodeID
+	Seq  int64
+}
+
+// The two kinds the suite sends.
+const (
+	KindA = "TT.A"
+	KindB = "TT.B"
+)
+
+// Kind implements network.Message.
+func (m Msg) Kind() string { return m.K }
+
+func init() {
+	enc := func(e *wire.Enc, nm network.Message) {
+		m := nm.(Msg)
+		e.String(m.K)
+		e.Node(m.From)
+		e.Varint(m.Seq)
+	}
+	dec := func(d *wire.Dec) network.Message {
+		m := Msg{K: d.String(), From: d.Site(), Seq: d.Varint()}
+		if m.K != KindA && m.K != KindB && d.Err() == nil {
+			d.Fail("transporttest: bad kind %q in payload", m.K)
+		}
+		return m
+	}
+	wire.Register(KindA, enc, dec)
+	wire.Register(KindB, enc, dec)
+}
+
+// Factory builds a connected transport fabric for n nodes and returns
+// node i's endpoint at index i. Endpoints may repeat (one in-process
+// endpoint hosting every node). The suite closes each distinct
+// endpoint itself.
+type Factory func(t *testing.T, n int) []transport.Transport
+
+// TestTransport runs the conformance suite against one implementation.
+func TestTransport(t *testing.T, factory Factory) {
+	t.Run("FIFONoLossNoDup", func(t *testing.T) { testFIFO(t, factory) })
+	t.Run("PerKindStats", func(t *testing.T) { testStats(t, factory) })
+	t.Run("BindBuffersEarlyTraffic", func(t *testing.T) { testLateBind(t, factory) })
+	t.Run("CleanClose", func(t *testing.T) { testClose(t, factory) })
+}
+
+// distinct returns the unique endpoints of a fabric, in first-use order.
+func distinct(eps []transport.Transport) []transport.Transport {
+	var out []transport.Transport
+	for _, ep := range eps {
+		dup := false
+		for _, d := range out {
+			if d == ep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+func closeAll(t *testing.T, eps []transport.Transport) {
+	t.Helper()
+	for _, ep := range distinct(eps) {
+		if err := ep.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}
+}
+
+// recorder tracks, per ordered pair, the last sequence number seen, and
+// fails on any gap, reordering, or duplicate.
+type recorder struct {
+	t       *testing.T
+	n       int
+	mu      sync.Mutex
+	lastSeq [][]int64 // [to][from]
+	total   int
+}
+
+func newRecorder(t *testing.T, n int) *recorder {
+	r := &recorder{t: t, n: n, lastSeq: make([][]int64, n)}
+	for i := range r.lastSeq {
+		r.lastSeq[i] = make([]int64, n)
+	}
+	return r
+}
+
+func (r *recorder) handler(to network.NodeID) transport.Handler {
+	return func(from network.NodeID, nm network.Message) {
+		m, ok := nm.(Msg)
+		if !ok {
+			r.t.Errorf("node %d received %T, want Msg", to, nm)
+			return
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if m.From != from {
+			r.t.Errorf("node %d: envelope sender %d but payload sender %d", to, from, m.From)
+		}
+		if want := r.lastSeq[to][from] + 1; m.Seq != want {
+			r.t.Errorf("link %d→%d: got seq %d, want %d (loss, duplication or reordering)",
+				from, to, m.Seq, want)
+		}
+		r.lastSeq[to][from] = m.Seq
+		r.total++
+	}
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// waitFor polls until the recorder has seen want messages or the
+// deadline passes — transports deliver asynchronously.
+func (r *recorder) waitFor(want int, d time.Duration) {
+	r.t.Helper()
+	deadline := time.Now().Add(d)
+	for r.count() < want {
+		if time.Now().After(deadline) {
+			r.t.Fatalf("delivered %d/%d messages within %v (message loss)", r.count(), want, d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Settle briefly so late duplicates would still be caught.
+	time.Sleep(5 * time.Millisecond)
+	if got := r.count(); got != want {
+		r.t.Fatalf("delivered %d messages, want exactly %d (duplication)", got, want)
+	}
+}
+
+// testFIFO hammers every ordered pair concurrently: one sender
+// goroutine per pair, interleaved kinds, sequence numbers checked at
+// the receiver.
+func testFIFO(t *testing.T, factory Factory) {
+	const n, msgs = 4, 200
+	eps := factory(t, n)
+	defer closeAll(t, eps)
+	rec := newRecorder(t, n)
+	for i := 0; i < n; i++ {
+		eps[i].Bind(network.NodeID(i), rec.handler(network.NodeID(i)))
+	}
+	var wg sync.WaitGroup
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			from, to := network.NodeID(from), network.NodeID(to)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := int64(1); s <= msgs; s++ {
+					k := KindA
+					if s%3 == 0 {
+						k = KindB
+					}
+					eps[from].Send(from, to, Msg{K: k, From: from, Seq: s})
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	rec.waitFor(n*(n-1)*msgs, 10*time.Second)
+}
+
+// testStats sends known per-kind counts and checks the aggregated
+// endpoint statistics match exactly.
+func testStats(t *testing.T, factory Factory) {
+	const n = 3
+	eps := factory(t, n)
+	defer closeAll(t, eps)
+	rec := newRecorder(t, n)
+	for i := 0; i < n; i++ {
+		eps[i].Bind(network.NodeID(i), rec.handler(network.NodeID(i)))
+	}
+	if got := eps[0].N(); got != n {
+		t.Fatalf("N() = %d, want %d", got, n)
+	}
+	wantA, wantB := 0, 0
+	seq := make([][]int64, n)
+	for i := range seq {
+		seq[i] = make([]int64, n)
+	}
+	send := func(from, to int, k string) {
+		seq[from][to]++
+		eps[from].Send(network.NodeID(from), network.NodeID(to),
+			Msg{K: k, From: network.NodeID(from), Seq: seq[from][to]})
+		if k == KindA {
+			wantA++
+		} else {
+			wantB++
+		}
+	}
+	for i := 0; i < 7; i++ {
+		send(0, 1, KindA)
+		send(1, 2, KindB)
+	}
+	send(2, 0, KindA)
+	rec.waitFor(wantA+wantB, 10*time.Second)
+
+	gotA, gotB := int64(0), int64(0)
+	other := map[string]int64{}
+	for _, ep := range distinct(eps) {
+		for k, v := range ep.Stats() {
+			switch k {
+			case KindA:
+				gotA += v
+			case KindB:
+				gotB += v
+			default:
+				other[k] += v
+			}
+		}
+	}
+	if gotA != int64(wantA) || gotB != int64(wantB) {
+		t.Errorf("stats %s=%d %s=%d, want %d/%d", KindA, gotA, KindB, gotB, wantA, wantB)
+	}
+	if len(other) != 0 {
+		t.Errorf("unexpected kinds in stats: %v", other)
+	}
+}
+
+// testLateBind sends to a node before its handler is bound; a reliable
+// transport buffers and delivers in order at Bind time.
+func testLateBind(t *testing.T, factory Factory) {
+	const n, early = 2, 50
+	eps := factory(t, n)
+	defer closeAll(t, eps)
+	rec := newRecorder(t, n)
+	eps[0].Bind(0, rec.handler(0))
+	for s := int64(1); s <= early; s++ {
+		eps[0].Send(0, 1, Msg{K: KindA, From: 0, Seq: s})
+	}
+	// Give an async transport time to get the early traffic in flight,
+	// then bind: everything must arrive, in order.
+	time.Sleep(20 * time.Millisecond)
+	eps[1].Bind(1, rec.handler(1))
+	for s := int64(early + 1); s <= 2*early; s++ {
+		eps[0].Send(0, 1, Msg{K: KindA, From: 0, Seq: s})
+	}
+	rec.waitFor(2*early, 10*time.Second)
+}
+
+// testClose: Close is idempotent, terminates, and later Sends neither
+// panic nor deliver.
+func testClose(t *testing.T, factory Factory) {
+	const n = 2
+	eps := factory(t, n)
+	rec := newRecorder(t, n)
+	for i := 0; i < n; i++ {
+		eps[i].Bind(network.NodeID(i), rec.handler(network.NodeID(i)))
+	}
+	eps[0].Send(0, 1, Msg{K: KindA, From: 0, Seq: 1})
+	rec.waitFor(1, 10*time.Second)
+	closeAll(t, eps)
+	closeAll(t, eps) // idempotent
+	eps[0].Send(0, 1, Msg{K: KindA, From: 0, Seq: 2})
+	time.Sleep(10 * time.Millisecond)
+	if got := rec.count(); got != 1 {
+		t.Fatalf("message delivered after Close (count %d)", got)
+	}
+}

@@ -1,0 +1,74 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mralloc/internal/wire"
+)
+
+// seedCorpus returns the encodings of every registered sample message,
+// which covers every registered kind (TestSamplesCoverAllKinds).
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	for _, m := range wire.Samples() {
+		b, err := wire.Append(nil, m)
+		if err != nil {
+			f.Fatalf("encoding sample %s: %v", m.Kind(), err)
+		}
+		f.Add(b)
+	}
+}
+
+// FuzzRoundTrip: any bytes that decode must re-encode canonically —
+// decode→encode→decode→encode reaches a fixed point after one step.
+func FuzzRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := wire.Decode(b)
+		if err != nil {
+			return
+		}
+		b2, err := wire.Append(nil, m)
+		if err != nil {
+			t.Fatalf("decoded %s but cannot re-encode: %v", m.Kind(), err)
+		}
+		m2, err := wire.Decode(b2)
+		if err != nil {
+			t.Fatalf("canonical re-encoding of %s does not decode: %v", m.Kind(), err)
+		}
+		if m2.Kind() != m.Kind() {
+			t.Fatalf("kind changed across round trip: %q → %q", m.Kind(), m2.Kind())
+		}
+		b3, err := wire.Append(nil, m2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatalf("encode∘decode not idempotent for %s:\n  b2=%x\n  b3=%x", m.Kind(), b2, b3)
+		}
+	})
+}
+
+// FuzzDecode: arbitrary bytes must never panic the decoder — only
+// decode or error. (A panic anywhere under Decode fails the fuzzer.)
+func FuzzDecode(f *testing.F) {
+	seedCorpus(f)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := wire.Decode(b)
+		if err == nil && m == nil {
+			t.Fatal("nil message decoded without error")
+		}
+		// The shape-validating path must be equally panic-free, and
+		// never accept what the unvalidated path rejects.
+		m4, err4 := wire.DecodeFor(b, 4, 8)
+		if err4 == nil && m4 == nil {
+			t.Fatal("nil message decoded without error (shaped)")
+		}
+		if err != nil && err4 == nil {
+			t.Fatalf("shaped decode accepted what plain decode rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mralloc/internal/network"
+)
+
+// EncodeFunc writes a message's payload. It is called only with
+// messages of the concrete type registered for the kind, produced by
+// the protocol itself, so it has no error path.
+type EncodeFunc func(*Enc, network.Message)
+
+// DecodeFunc reconstructs a message from a payload. Malformed input
+// must be reported through the decoder's sticky error, never a panic.
+type DecodeFunc func(*Dec) network.Message
+
+type codec struct {
+	enc EncodeFunc
+	dec DecodeFunc
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]codec{}
+	samples  []network.Message
+)
+
+// Register installs the codec for one message kind. Kinds whose Kind()
+// string varies with message content (e.g. the request/token faces of
+// one wrapped mutex message) register every string they can return,
+// usually sharing one encoder/decoder pair. Registering a kind twice
+// panics: kind strings are a global namespace.
+func Register(kind string, enc EncodeFunc, dec DecodeFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("wire: kind %q registered twice", kind))
+	}
+	registry[kind] = codec{enc: enc, dec: dec}
+}
+
+// RegisterSamples adds representative messages to the shared corpus.
+// The codec tests round-trip every sample and the fuzz targets use
+// their encodings as seeds, so each registered kind should contribute
+// at least one sample exercising its optional fields.
+func RegisterSamples(msgs ...network.Message) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	samples = append(samples, msgs...)
+}
+
+// Registered reports whether kind has a codec.
+func Registered(kind string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[kind]
+	return ok
+}
+
+// Kinds lists every registered kind, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Samples returns the registered sample messages.
+func Samples() []network.Message {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]network.Message(nil), samples...)
+}
+
+// Append encodes m — kind string, then payload — onto buf and returns
+// the extended buffer. It fails only for unregistered kinds.
+func Append(buf []byte, m network.Message) ([]byte, error) {
+	kind := m.Kind()
+	regMu.RLock()
+	c, ok := registry[kind]
+	regMu.RUnlock()
+	if !ok {
+		return buf, fmt.Errorf("wire: no codec registered for kind %q", kind)
+	}
+	e := Enc{buf: buf}
+	e.String(kind)
+	c.enc(&e, m)
+	return e.buf, nil
+}
+
+// Decode reconstructs the message encoded in b. The whole buffer must
+// be consumed; trailing bytes are an error, as is any malformed field.
+// Decode never panics, whatever b holds.
+func Decode(b []byte) (network.Message, error) {
+	return DecodeFor(b, 0, 0)
+}
+
+// DecodeFor is Decode plus cluster-shape validation (see NewDecFor):
+// the transport layer of a running cluster uses it so that frames from
+// a differently-configured or hostile peer fail the decode instead of
+// crashing a protocol state machine on an out-of-range identifier.
+func DecodeFor(b []byte, nodes, resources int) (network.Message, error) {
+	d := NewDecFor(b, nodes, resources)
+	kind := d.String()
+	if d.err != nil {
+		return nil, d.err
+	}
+	regMu.RLock()
+	c, ok := registry[kind]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown kind %q", kind)
+	}
+	m := c.dec(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %q payload", d.Remaining(), kind)
+	}
+	return m, nil
+}

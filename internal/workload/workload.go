@@ -113,23 +113,36 @@ type Request struct {
 }
 
 // Generator produces one site's request stream deterministically.
+//
+// Reproducibility contract: the scenario drawn for a given (Config,
+// site) is pinned by TestPinnedDraws and must never shift under
+// internal refactors. Sizes, think times and the zone-locality coin
+// each consume exactly one draw per request from their own streams;
+// resource selection — whose internal draw count depends on the
+// sampling algorithm — runs on a fresh per-request substream seeded by
+// one draw from sampleSeeds, so optimizing a sampler's internals (e.g.
+// the PR-1 Floyd change) cannot shift any later draw of the scenario.
 type Generator struct {
 	cfg     Config
 	zone    int       // home zone of the site (0 when zoning is off)
 	weights []float64 // per-resource popularity weights (skewed mode)
 	sizes   *rand.Rand
-	picks   *rand.Rand
+	picks   *rand.Rand // zone-locality coin: one draw per zoned request
 	think   *rand.Rand
+	// sampleSeeds yields one seed per request; the resource sampler
+	// runs on a private substream built from it.
+	sampleSeeds *rand.Rand
 }
 
 // NewGenerator builds the stream for one site. Distinct sites get
 // distinct independent streams derived from the run seed.
 func NewGenerator(cfg Config, site int) *Generator {
 	g := &Generator{
-		cfg:   cfg,
-		sizes: sim.Stream(cfg.Seed, fmt.Sprintf("wl/size/%d", site)),
-		picks: sim.Stream(cfg.Seed, fmt.Sprintf("wl/pick/%d", site)),
-		think: sim.Stream(cfg.Seed, fmt.Sprintf("wl/think/%d", site)),
+		cfg:         cfg,
+		sizes:       sim.Stream(cfg.Seed, fmt.Sprintf("wl/size/%d", site)),
+		picks:       sim.Stream(cfg.Seed, fmt.Sprintf("wl/pick/%d", site)),
+		think:       sim.Stream(cfg.Seed, fmt.Sprintf("wl/think/%d", site)),
+		sampleSeeds: sim.Stream(cfg.Seed, fmt.Sprintf("wl/sample/%d", site)),
 	}
 	if cfg.Zones > 1 {
 		g.zone = site / (cfg.N / cfg.Zones)
@@ -146,14 +159,14 @@ func NewGenerator(cfg Config, site int) *Generator {
 // sampleSkewed draws x distinct resources with probability proportional
 // to the Zipf weights, using the Efraimidis–Spirakis one-pass weighted
 // reservoir: each resource gets key u^(1/w); the x largest keys win.
-func (g *Generator) sampleSkewed(x int) resource.Set {
+func (g *Generator) sampleSkewed(rng *rand.Rand, x int) resource.Set {
 	type kr struct {
 		key float64
 		r   resource.ID
 	}
 	top := make([]kr, 0, x) // kept sorted ascending by key
 	for r := 0; r < g.cfg.M; r++ {
-		k := math.Pow(g.picks.Float64(), 1/g.weights[r])
+		k := math.Pow(rng.Float64(), 1/g.weights[r])
 		switch {
 		case len(top) < x:
 			// Insert at the end, bubble left into place.
@@ -176,11 +189,14 @@ func (g *Generator) sampleSkewed(x int) resource.Set {
 	return s
 }
 
-// Next draws the site's next request.
+// Next draws the site's next request. The resource sampler runs on its
+// own single-use substream (see the Generator comment), so its internal
+// draw count cannot leak into the rest of the scenario.
 func (g *Generator) Next() Request {
 	x := 1 + g.sizes.Intn(g.cfg.Phi)
+	smp := rand.New(rand.NewSource(g.sampleSeeds.Int63()))
 	if g.weights != nil {
-		return Request{Resources: g.sampleSkewed(x), Size: x, CS: g.cfg.Alpha(x)}
+		return Request{Resources: g.sampleSkewed(smp, x), Size: x, CS: g.cfg.Alpha(x)}
 	}
 	if g.cfg.Zones > 1 && g.picks.Float64() < g.cfg.LocalBias {
 		// A zone-local request: resources from the home block only.
@@ -188,7 +204,7 @@ func (g *Generator) Next() Request {
 		if x > block {
 			x = block
 		}
-		local := resource.Sample(g.picks, block, x)
+		local := resource.Sample(smp, block, x)
 		rs := resource.NewSet(g.cfg.M)
 		local.ForEach(func(r resource.ID) {
 			rs.Add(r + resource.ID(g.zone*block))
@@ -196,7 +212,7 @@ func (g *Generator) Next() Request {
 		return Request{Resources: rs, Size: x, CS: g.cfg.Alpha(x)}
 	}
 	return Request{
-		Resources: resource.Sample(g.picks, g.cfg.M, x),
+		Resources: resource.Sample(smp, g.cfg.M, x),
 		Size:      x,
 		CS:        g.cfg.Alpha(x),
 	}

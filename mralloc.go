@@ -10,11 +10,13 @@
 //     times and message counts — the measurements of the paper's
 //     evaluation. cmd/paperfig builds every figure on top of this.
 //
-//   - NewCluster starts an in-process lock manager: one goroutine per
-//     node, channels as links, running the paper's algorithm for real.
-//     Acquire/Release give callers deadlock-free exclusive access to
-//     arbitrary subsets of M resources with no global lock and no prior
-//     knowledge of the conflict graph.
+//   - NewCluster starts a live lock manager: one goroutine per node,
+//     running the paper's algorithm for real — in-process over the
+//     in-memory transport by default, or spanning OS processes over
+//     TCP (ClusterConfig.Peers; cmd/mrallocd is the ready-made
+//     daemon). Acquire/Release give callers deadlock-free exclusive
+//     access to arbitrary subsets of M resources with no global lock
+//     and no prior knowledge of the conflict graph.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.

@@ -2,6 +2,7 @@ package mralloc
 
 import (
 	"context"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -95,6 +96,98 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("no protocol traffic recorded")
+	}
+}
+
+// reservePorts grabs k distinct free loopback ports. The listeners are
+// closed before returning, so a racing process could in principle steal
+// one; on a CI loopback this window is negligible.
+func reservePorts(t *testing.T, k int) []string {
+	t.Helper()
+	addrs := make([]string, k)
+	lns := make([]net.Listener, k)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestClusterMultiProcess runs the public multi-process mode: two
+// cluster instances (stand-ins for two OS processes), each hosting two
+// nodes, exchanging every protocol message over loopback TCP.
+func TestClusterMultiProcess(t *testing.T) {
+	const n, m = 4, 8
+	peers := make([]string, n)
+	for i, a := range reservePorts(t, 2) {
+		peers[2*i] = a
+		peers[2*i+1] = a
+	}
+	a, err := NewCluster(ClusterConfig{Nodes: n, Resources: m, Peers: peers, Local: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewCluster(ClusterConfig{Nodes: n, Resources: m, Peers: peers, Local: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if _, err := a.Acquire(context.Background(), 2, 0); err == nil {
+		t.Fatal("acquired a remote node through the wrong process")
+	}
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		node := node
+		c := a
+		if node >= 2 {
+			c = b
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				release, err := c.Acquire(context.Background(), node, node%m, (node+3)%m)
+				if err != nil {
+					t.Errorf("node %d: %v", node, err)
+					return
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, stats := range []map[string]int64{a.Stats(), b.Stats()} {
+		for _, v := range stats {
+			total += v
+		}
+	}
+	if total == 0 {
+		t.Fatal("no protocol traffic recorded across processes")
+	}
+}
+
+func TestClusterMultiProcessValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 2, Resources: 2, Peers: []string{"x"}}); err == nil {
+		t.Fatal("peer/node count mismatch accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Nodes: 2, Resources: 2, Peers: []string{"a", "b"}}); err == nil {
+		t.Fatal("missing Local accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{
+		Nodes: 2, Resources: 2, Peers: []string{"a", "b"}, Local: []int{0},
+		Latency: time.Millisecond,
+	}); err == nil {
+		t.Fatal("latency + multi-process accepted")
 	}
 }
 
