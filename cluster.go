@@ -8,7 +8,41 @@ import (
 	"mralloc/internal/alg"
 	"mralloc/internal/core"
 	"mralloc/internal/live"
+	"mralloc/internal/serve"
 	"mralloc/internal/transport"
+)
+
+// Policy names an admission-scheduling policy for multiplexed
+// sessions. Each node feeds queued session requests one at a time into
+// its protocol state machine (the paper's one-outstanding-request
+// hypothesis); the policy decides the order. Whatever the policy, a
+// request that has waited past the aging threshold is admitted in
+// arrival order, so no session starves.
+type Policy string
+
+const (
+	// PolicyFIFO admits requests in arrival order (the default).
+	PolicyFIFO Policy = "fifo"
+	// PolicySSF admits the request with the fewest resources first:
+	// better mean latency, tail latency bounded by aging.
+	PolicySSF Policy = "ssf"
+	// PolicyEDF admits the request with the nearest deadline first
+	// (see AcquireOpts.Deadline); requests without deadlines go last,
+	// in arrival order.
+	PolicyEDF Policy = "edf"
+)
+
+// Errors a cluster's acquires can return, beyond context errors.
+// Compare with errors.Is.
+var (
+	// ErrClosed: the cluster was closed while the request was queued
+	// or outstanding.
+	ErrClosed = live.ErrClosed
+	// ErrSessionClosed: Acquire on a session after its Close.
+	ErrSessionClosed = live.ErrSessionClosed
+	// ErrSessionBusy: a session already has an Acquire in flight; open
+	// more sessions for more concurrency.
+	ErrSessionBusy = live.ErrSessionBusy
 )
 
 // ClusterConfig sizes an in-process lock-manager cluster.
@@ -28,6 +62,14 @@ type ClusterConfig struct {
 	// protocol behaviour visible in demos and tests. In-process
 	// clusters only.
 	Latency time.Duration
+
+	// Policy orders each node's admission queue when concurrent
+	// sessions multiplex onto it (default PolicyFIFO).
+	Policy Policy
+	// AgingThreshold is the wait after which a queued request is
+	// admitted in arrival order regardless of policy — the starvation
+	// bound. Zero selects a sane default (500ms).
+	AgingThreshold time.Duration
 
 	// Peers switches the cluster to multi-process mode: Peers[i] is the
 	// TCP address of the process hosting node i, and this process runs
@@ -69,10 +111,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		opt.Loan = true
 		opt.LoanThreshold = cfg.LoanThreshold
 	}
+	policy, err := serve.ParsePolicy(string(cfg.Policy))
+	if err != nil {
+		return nil, fmt.Errorf("mralloc: %w", err)
+	}
 	lcfg := live.Config{
 		Nodes:     cfg.Nodes,
 		Resources: cfg.Resources,
 		Latency:   cfg.Latency,
+		Policy:    policy,
+		Aging:     cfg.AgingThreshold,
 	}
 	if len(cfg.Peers) > 0 {
 		if len(cfg.Peers) != cfg.Nodes {
@@ -129,9 +177,68 @@ func (c *Cluster) LoanStats() LoanStats {
 // is idempotent). Deadlock cannot occur regardless of how callers
 // overlap their resource sets — that is the algorithm's job. If ctx
 // ends first, the eventual grant is released automatically.
+//
+// Acquire is the one-session convenience form: any number of
+// concurrent Acquires may target one node; they queue in the node's
+// admission scheduler and enter the protocol one at a time under the
+// cluster's Policy. Long-lived clients should hold a Session instead.
 func (c *Cluster) Acquire(ctx context.Context, node int, resources ...int) (func(), error) {
 	return c.inner.Acquire(ctx, node, resources...)
 }
+
+// AcquireOpts parameterizes Session.AcquireWith.
+type AcquireOpts struct {
+	// Resources lists the resource identifiers to lock, all-or-nothing.
+	Resources []int
+	// Deadline, when non-zero, is the instant the caller wants
+	// admission by; it orders the queue under PolicyEDF. It does not
+	// abort a late request — use the context for timeouts (whose
+	// deadline, if any, is used when this field is zero).
+	Deadline time.Time
+}
+
+// Session is one client's serialized stream of acquisitions on a node.
+// A node serves any number of concurrent sessions: their requests
+// queue in its admission scheduler and enter the allocation protocol
+// one at a time under the cluster's Policy, so "users" scale
+// independently of protocol nodes. A session itself admits one
+// Acquire at a time (ErrSessionBusy otherwise).
+type Session struct {
+	inner *live.Session
+}
+
+// NewSession opens a session on node (which must be hosted by this
+// process in multi-process mode). Sessions are cheap: open one per
+// logical client, not one per cluster.
+func (c *Cluster) NewSession(node int) (*Session, error) {
+	s, err := c.inner.NewSession(node)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: s}, nil
+}
+
+// Acquire blocks until the session holds every listed resource, then
+// returns the release function (call it exactly once; idempotent).
+// If ctx ends first the request is withdrawn — or, when the protocol
+// has already committed the grant, handed straight back — and ctx's
+// error returned.
+func (s *Session) Acquire(ctx context.Context, resources ...int) (func(), error) {
+	return s.inner.Acquire(ctx, serve.AcquireOpts{Resources: resources})
+}
+
+// AcquireWith is Acquire with explicit options (deadline-aware
+// scheduling under PolicyEDF).
+func (s *Session) AcquireWith(ctx context.Context, opts AcquireOpts) (func(), error) {
+	return s.inner.Acquire(ctx, serve.AcquireOpts{Resources: opts.Resources, Deadline: opts.Deadline})
+}
+
+// Grants reports how many acquisitions the session has completed.
+func (s *Session) Grants() int64 { return s.inner.Grants() }
+
+// Close invalidates the session. It does not interrupt an Acquire in
+// flight (cancel its context for that) nor revoke a held grant.
+func (s *Session) Close() { s.inner.Close() }
 
 // Stats snapshots protocol traffic by message kind.
 func (c *Cluster) Stats() map[string]int64 { return c.inner.Stats() }

@@ -18,6 +18,16 @@
 // -ops 0 (default) a daemon participates until SIGINT/SIGTERM; with
 // -ops K it performs K random acquire/release cycles per local node,
 // prints per-kind message statistics, and exits.
+//
+// With -client-listen the daemon additionally opens a client port:
+// external processes speak the client wire protocol (internal/serve)
+// to it, each connection multiplexing any number of concurrent
+// acquisition sessions onto the hosted nodes through the admission
+// scheduler (-policy picks the ordering). The example above plus
+//
+//	mrallocd ... -client-listen 127.0.0.1:8000 -policy ssf
+//
+// serves clients on 127.0.0.1:8000 while peering on -listen.
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"mralloc/internal/alg"
 	"mralloc/internal/experiments"
 	"mralloc/internal/live"
+	"mralloc/internal/serve"
 	"mralloc/internal/transport"
 )
 
@@ -49,13 +60,15 @@ func main() {
 		peersCSV  = flag.String("peers", "", "comma-separated list of N addresses; entry i hosts node i")
 		localCSV  = flag.String("local", "0", "comma-separated node ids hosted by this process")
 		ops       = flag.Int("ops", 0, "random acquire/release cycles per local node (0 = serve until signal)")
+		clientL   = flag.String("client-listen", "", "TCP address of the client port (empty = no client port)")
+		policyStr = flag.String("policy", "fifo", "admission policy for multiplexed sessions: fifo, ssf, edf")
 		linger    = flag.Duration("linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
 		phi       = flag.Int("phi", 4, "maximum resources per request (workload mode)")
 		think     = flag.Duration("think", time.Millisecond, "mean pause between requests (workload mode)")
 		seed      = flag.Int64("seed", 1, "workload RNG seed")
 	)
 	flag.Parse()
-	if err := run(*nodes, *resources, *algName, *listen, *peersCSV, *localCSV, *ops, *phi, *think, *seed, *linger); err != nil {
+	if err := run(*nodes, *resources, *algName, *listen, *peersCSV, *localCSV, *ops, *phi, *think, *seed, *linger, *clientL, *policyStr); err != nil {
 		fmt.Fprintln(os.Stderr, "mrallocd:", err)
 		os.Exit(1)
 	}
@@ -95,8 +108,12 @@ func parseIDs(csv string, n int) ([]int, error) {
 	return out, nil
 }
 
-func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, phi int, think time.Duration, seed int64, linger time.Duration) error {
+func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, phi int, think time.Duration, seed int64, linger time.Duration, clientListen, policyStr string) error {
 	factory, err := factoryFor(algName)
+	if err != nil {
+		return err
+	}
+	policy, err := serve.ParsePolicy(policyStr)
 	if err != nil {
 		return err
 	}
@@ -125,6 +142,7 @@ func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, 
 		Resources: resources,
 		Transport: tr,
 		Local:     local,
+		Policy:    policy,
 	}, factory)
 	if err != nil {
 		return err
@@ -132,6 +150,21 @@ func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, 
 	defer cluster.Close()
 	fmt.Printf("mrallocd: hosting nodes %v of %d (%s, M=%d) on %s\n",
 		local, nodes, algName, resources, tr.Addr())
+
+	if clientListen != "" {
+		srv, err := serve.NewServer(serve.ServerConfig{
+			Listen:    clientListen,
+			Nodes:     nodes,
+			Resources: resources,
+			Local:     local,
+			Open:      func(node int) (serve.BackendSession, error) { return cluster.NewSession(node) },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("mrallocd: client port on %s (policy %s)\n", srv.Addr(), policy)
+	}
 
 	if ops <= 0 {
 		sig := make(chan os.Signal, 1)

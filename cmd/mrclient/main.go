@@ -1,0 +1,114 @@
+// Command mrclient drives a running mralloc cluster from outside:
+// it connects to a daemon's client port (mrallocd -client-listen) and
+// runs a synthetic multi-session workload over the client wire
+// protocol, reporting wait-time statistics. It is both a smoke tool
+// for deployments and the reference consumer of internal/serve.Client.
+//
+// Against the 3-daemon example of cmd/mrallocd (with daemon 0 started
+// with -client-listen 127.0.0.1:8000):
+//
+//	mrclient -addr 127.0.0.1:8000 -sessions 64 -ops 20 -phi 3
+//
+// opens one connection multiplexing 64 concurrent sessions, each
+// performing 20 random acquire/release cycles on the daemon's nodes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"mralloc/internal/metrics"
+	"mralloc/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8000", "client port of a mrallocd daemon")
+		sessions = flag.Int("sessions", 8, "concurrent sessions to multiplex on the connection")
+		ops      = flag.Int("ops", 10, "acquire/release cycles per session")
+		m        = flag.Int("resources", 16, "resource universe size M of the cluster")
+		phi      = flag.Int("phi", 3, "maximum resources per request")
+		node     = flag.Int("node", serve.AnyNode, "target node id (-1 = daemon picks round-robin)")
+		think    = flag.Duration("think", time.Millisecond, "mean pause between a session's requests")
+		hold     = flag.Duration("hold", 500*time.Microsecond, "critical-section duration")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-acquire timeout")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *sessions, *ops, *m, *phi, *node, *think, *hold, *timeout, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "mrclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, sessions, ops, m, phi, node int, think, hold, timeout time.Duration, seed int64) error {
+	if phi < 1 || phi > m {
+		return fmt.Errorf("-phi %d outside [1, %d]", phi, m)
+	}
+	cl, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	var mu sync.Mutex
+	var wait metrics.Accum
+	errs := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(s)*1000003))
+			for i := 0; i < ops; i++ {
+				k := 1 + rng.Intn(phi)
+				set := make(map[int]bool, k)
+				for len(set) < k {
+					set[rng.Intn(m)] = true
+				}
+				ids := make([]int, 0, k)
+				for r := range set {
+					ids = append(ids, r)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				issued := time.Now()
+				release, err := cl.Acquire(ctx, node, ids...)
+				cancel()
+				if err != nil {
+					errs <- fmt.Errorf("session %d: %w", s, err)
+					return
+				}
+				mu.Lock()
+				wait.Add(float64(time.Since(issued).Microseconds()) / 1e3)
+				mu.Unlock()
+				if hold > 0 {
+					time.Sleep(hold)
+				}
+				release()
+				if think > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() * float64(think)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	elapsed := time.Since(start)
+	sum := wait.Summary()
+	fmt.Printf("mrclient: %d sessions × %d ops in %v (%.0f acquires/s)\n",
+		sessions, ops, elapsed.Round(time.Millisecond),
+		float64(sessions*ops)/elapsed.Seconds())
+	fmt.Printf("wait ms: mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		sum.Mean, sum.P50, sum.P95, sum.P99, sum.Max)
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"mralloc/internal/experiments"
 	"mralloc/internal/live"
 	"mralloc/internal/resource"
+	"mralloc/internal/serve"
 	"mralloc/internal/sim"
 	"mralloc/internal/workload"
 
@@ -87,7 +88,17 @@ func simScenario(name string, wl workload.Config, opt core.Options) Scenario {
 		b.ReportMetric(last.MsgPerGrant, "msg_per_cs")
 		b.ReportMetric(float64(last.Grants), "grants_per_op")
 		b.ReportMetric(float64(last.Events), "events_per_op")
+		reportWait(b, last)
 	}}
+}
+
+// reportWait attaches the wait-time distribution of a driver run to
+// the benchmark record (enqueue→grant, milliseconds).
+func reportWait(b *testing.B, res driver.Result) {
+	b.ReportMetric(res.Waiting.Mean, "wait_mean_ms")
+	b.ReportMetric(res.Waiting.P50, "wait_p50_ms")
+	b.ReportMetric(res.Waiting.P95, "wait_p95_ms")
+	b.ReportMetric(res.Waiting.P99, "wait_p99_ms")
 }
 
 // SimGrid is the cluster-size × loan grid plus the zones and skew
@@ -109,6 +120,73 @@ func SimGrid() []Scenario {
 	skew := simWorkload(32)
 	skew.Skew = 1.0
 	out = append(out, simScenario("sim/n32/skew", skew, core.WithLoan()))
+	return out
+}
+
+// serveWorkload is the multiplexed-sessions workload: the paper's M/φ
+// shape at light per-session load (high ρ), so a single session leaves
+// a node mostly thinking and the sessions axis — not raw protocol
+// saturation — is what moves the needle. That is the regime the serve
+// layer exists for: many mostly-idle clients multiplexed onto few
+// protocol nodes.
+func serveWorkload(n int) workload.Config {
+	wl := simWorkload(n)
+	wl.Phi = 8
+	wl.Rho = 8
+	return wl
+}
+
+// ServeCell runs one sessions-per-node cell: n nodes × sessions
+// concurrent sessions per node under the given admission policy, over
+// the serveWorkload, measuring enqueue→grant waiting (the queue wait
+// is the point). Exported so the CI bench-smoke test can run the same
+// cells with a tiny horizon.
+func ServeCell(n, sessions int, policy serve.Policy, horizon sim.Time) (driver.Result, error) {
+	return driver.Run(driver.Config{
+		Workload:   serveWorkload(n),
+		Sessions:   sessions,
+		Policy:     policy,
+		Processing: experiments.Proc,
+		Warmup:     20 * sim.Millisecond,
+		Horizon:    horizon,
+	}, core.NewFactory(core.WithLoan()))
+}
+
+// serveScenario benchmarks one ServeCell per iteration.
+func serveScenario(n, sessions int, policy serve.Policy) Scenario {
+	name := fmt.Sprintf("serve/n%d/s%d/%s", n, sessions, policy)
+	horizon := simHorizon(n)
+	return Scenario{Name: name, Run: func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var last driver.Result
+		for i := 0; i < b.N; i++ {
+			res, err := ServeCell(n, sessions, policy, horizon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.MsgPerGrant, "msg_per_cs")
+		b.ReportMetric(float64(last.Grants), "grants_per_op")
+		b.ReportMetric(float64(last.Events), "events_per_op")
+		reportWait(b, last)
+	}}
+}
+
+// ServeGrid is the sessions-per-node grid: S∈{1,8,64} sessions × N
+// nodes × policy. FIFO and SSF cover every cell (the two policies the
+// scaling claim is reported over); EDF is sampled at the heaviest cell.
+func ServeGrid() []Scenario {
+	var out []Scenario
+	for _, n := range []int{8, 32} {
+		for _, s := range []int{1, 8, 64} {
+			for _, p := range []serve.Policy{serve.FIFO, serve.SSF} {
+				out = append(out, serveScenario(n, s, p))
+			}
+		}
+	}
+	out = append(out, serveScenario(8, 64, serve.EDF))
 	return out
 }
 
@@ -230,6 +308,7 @@ func LiveGrid() []Scenario {
 func Grid() []Scenario {
 	var out []Scenario
 	out = append(out, SimGrid()...)
+	out = append(out, ServeGrid()...)
 	out = append(out, MicroGrid()...)
 	out = append(out, LiveGrid()...)
 	return out
@@ -253,6 +332,18 @@ func Measure(s Scenario) Result {
 	}
 	if v, ok := r.Extra["events_per_op"]; ok {
 		res.EventsPerOp = int64(v)
+	}
+	if v, ok := r.Extra["wait_mean_ms"]; ok {
+		res.WaitMeanMS = round3(v)
+	}
+	if v, ok := r.Extra["wait_p50_ms"]; ok {
+		res.WaitP50MS = round3(v)
+	}
+	if v, ok := r.Extra["wait_p95_ms"]; ok {
+		res.WaitP95MS = round3(v)
+	}
+	if v, ok := r.Extra["wait_p99_ms"]; ok {
+		res.WaitP99MS = round3(v)
 	}
 	if res.NsPerOp > 0 {
 		ops := 1e9 / float64(res.NsPerOp)

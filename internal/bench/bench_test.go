@@ -2,6 +2,8 @@ package bench
 
 import (
 	"encoding/json"
+	"mralloc/internal/serve"
+	"mralloc/internal/sim"
 	"strings"
 	"testing"
 )
@@ -98,5 +100,53 @@ func TestMicroAndLiveMeasure(t *testing.T) {
 		if r.NsPerOp <= 0 {
 			t.Fatalf("%s: no measurement: %+v", r.Scenario, r)
 		}
+	}
+}
+
+// TestServeGridSmoke runs every cell of the sessions-per-node grid
+// with a tiny horizon — the CI bench-smoke job, catching schema or
+// crash regressions in minutes-not-hours. It asserts the shape of the
+// output (grants happen, quantiles are monotone and present), not its
+// wall-clock values.
+func TestServeGridSmoke(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		for _, s := range []int{1, 8, 64} {
+			for _, p := range []serve.Policy{serve.FIFO, serve.SSF, serve.EDF} {
+				res, err := ServeCell(n, s, p, 60*sim.Millisecond)
+				if err != nil {
+					t.Fatalf("n%d/s%d/%s: %v", n, s, p, err)
+				}
+				if res.Grants <= 0 {
+					t.Errorf("n%d/s%d/%s: no grants", n, s, p)
+				}
+				w := res.Waiting
+				if w.P50 > w.P95 || w.P95 > w.P99 || w.P99 > w.Max {
+					t.Errorf("n%d/s%d/%s: quantiles not monotone: %+v", n, s, p, w)
+				}
+			}
+		}
+	}
+}
+
+// TestServeGridScales pins the scaling claim the grid exists to
+// measure: at fixed horizon, more sessions per node must complete
+// more critical sections, and queue waits must grow.
+func TestServeGridScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell comparison in -short mode")
+	}
+	one, err := ServeCell(8, 1, serve.FIFO, 300*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := ServeCell(8, 64, serve.FIFO, 300*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Grants <= 2*one.Grants {
+		t.Errorf("64 sessions granted %d vs %d single-session — multiplexing not engaging", many.Grants, one.Grants)
+	}
+	if many.Waiting.P99 <= one.Waiting.P99 {
+		t.Errorf("p99 wait did not grow under 64× multiplexing: %v vs %v", many.Waiting.P99, one.Waiting.P99)
 	}
 }

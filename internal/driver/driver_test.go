@@ -5,8 +5,10 @@ import (
 
 	"mralloc/internal/alg"
 	"mralloc/internal/centralized"
+	"mralloc/internal/core"
 	"mralloc/internal/network"
 	"mralloc/internal/resource"
+	"mralloc/internal/serve"
 	"mralloc/internal/sim"
 	"mralloc/internal/verify"
 	"mralloc/internal/workload"
@@ -201,5 +203,116 @@ func TestFairnessFieldsPopulated(t *testing.T) {
 		if j <= 0 || j > 1.0000001 {
 			t.Fatalf("jain index %v out of range", j)
 		}
+	}
+}
+
+// TestSessionsMultiplex: with S sessions per site the run must grant
+// substantially more requests than the single-session run (the queue
+// keeps nodes busy through think times), stay safe (OnViolation nil →
+// panic), and drain to quiescence. Load is light (high ρ) so the
+// protocol is not already saturated by one session per node —
+// multiplexing gains show where nodes otherwise sit thinking.
+func TestSessionsMultiplex(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workload.Rho = 20
+	cfg.Horizon = 1 * sim.Second
+	base, err := Run(cfg, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sessions = 8
+	multi, err := Run(cfg, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Queued != 0 || multi.Ungranted != 0 {
+		t.Fatalf("drained run left %d queued / %d ungranted", multi.Queued, multi.Ungranted)
+	}
+	if multi.Grants < 2*base.Grants {
+		t.Errorf("8 sessions granted %d, single granted %d — multiplexing isn't adding load", multi.Grants, base.Grants)
+	}
+	if multi.Waiting.P95 < multi.Waiting.P50 || multi.Waiting.P99 < multi.Waiting.P95 {
+		t.Errorf("quantiles not monotone: %+v", multi.Waiting)
+	}
+}
+
+// TestSessionsDeterministic: a multiplexed run is as reproducible as a
+// single-session one — same seed, same policy, same result.
+func TestSessionsDeterministic(t *testing.T) {
+	for _, p := range serve.Policies() {
+		cfg := smallConfig()
+		cfg.Horizon = 500 * sim.Millisecond
+		cfg.Sessions = 4
+		cfg.Policy = p
+		a, err := Run(cfg, core.NewFactory(core.WithLoan()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg, core.NewFactory(core.WithLoan()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Grants != b.Grants || a.Events != b.Events || a.Waiting.Mean != b.Waiting.Mean ||
+			a.Messages.Total != b.Messages.Total {
+			t.Errorf("%s: runs differ: %+v vs %+v", p, a.Waiting, b.Waiting)
+		}
+	}
+}
+
+// TestPoliciesDiffer: the policy must actually reorder admissions —
+// SSF under multiplexed load should not produce the same grant
+// sequence as FIFO (compare via waiting statistics and grant counts).
+func TestPoliciesDiffer(t *testing.T) {
+	run := func(p serve.Policy) Result {
+		cfg := smallConfig()
+		cfg.Horizon = 1 * sim.Second
+		cfg.Sessions = 8
+		cfg.Policy = p
+		res, err := Run(cfg, core.NewFactory(core.WithLoan()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo := run(serve.FIFO)
+	ssf := run(serve.SSF)
+	if fifo.Waiting.Mean == ssf.Waiting.Mean && fifo.Grants == ssf.Grants {
+		t.Errorf("fifo and ssf produced identical runs (mean %v, %d grants) — policy not plumbed through",
+			fifo.Waiting.Mean, fifo.Grants)
+	}
+}
+
+// TestSessionZeroUnchanged: adding the serve layer must not shift the
+// single-session workload — the paper's scenarios are pinned. Compare
+// a default run against an explicit Sessions=1 FIFO run.
+func TestSessionZeroUnchanged(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Horizon = 500 * sim.Millisecond
+	a, err := Run(cfg, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sessions = 1
+	cfg.Policy = serve.FIFO
+	b, err := Run(cfg, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Grants != b.Grants || a.Events != b.Events || a.Waiting.Mean != b.Waiting.Mean {
+		t.Errorf("explicit Sessions=1 differs from default: %d/%d grants, %v/%v mean wait",
+			a.Grants, b.Grants, a.Waiting.Mean, b.Waiting.Mean)
+	}
+}
+
+func TestRejectsBadSessionsConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sessions = -1
+	if _, err := Run(cfg, centralized.NewFactory()); err == nil {
+		t.Error("negative Sessions accepted")
+	}
+	cfg = smallConfig()
+	cfg.Policy = "lifo"
+	if _, err := Run(cfg, centralized.NewFactory()); err == nil {
+		t.Error("unknown policy accepted")
 	}
 }

@@ -175,6 +175,9 @@ type Cell struct {
 	UseRate     float64 // mean over seeds, in [0,1]
 	WaitMean    float64 // milliseconds
 	WaitStd     float64 // milliseconds (mean of per-seed stddevs)
+	WaitP50     float64 // milliseconds (mean of per-seed P² estimates)
+	WaitP95     float64
+	WaitP99     float64
 	MsgPerGrant float64
 	Grants      int
 	JainWait    float64                // fairness of per-site mean waits
@@ -197,6 +200,9 @@ func RunCell(p Point, sc Scale) (Cell, error) {
 		c.UseRate += res.UseRate
 		c.WaitMean += res.Waiting.Mean
 		c.WaitStd += res.Waiting.StdDev
+		c.WaitP50 += res.Waiting.P50
+		c.WaitP95 += res.Waiting.P95
+		c.WaitP99 += res.Waiting.P99
 		c.MsgPerGrant += res.MsgPerGrant
 		c.Grants += res.Grants
 		c.JainWait += res.JainWait
@@ -217,6 +223,9 @@ func RunCell(p Point, sc Scale) (Cell, error) {
 	c.UseRate /= n
 	c.WaitMean /= n
 	c.WaitStd /= n
+	c.WaitP50 /= n
+	c.WaitP95 /= n
+	c.WaitP99 /= n
 	c.MsgPerGrant /= n
 	c.JainWait /= n
 	c.JainGrants /= n

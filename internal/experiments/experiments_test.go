@@ -107,8 +107,8 @@ func TestFigure6Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 3 || len(tab.Header) != 3 {
-		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Header))
+	if len(tab.Rows) != 3 || len(tab.Header) != 6 {
+		t.Fatalf("table shape %dx%d, want 3x6 (mean, stddev, p50/p95/p99)", len(tab.Rows), len(tab.Header))
 	}
 	if !strings.Contains(tab.String(), "Bouabdallah") {
 		t.Fatal("table missing algorithm name")

@@ -59,7 +59,8 @@ func Figure5(load Load, sc Scale) (Table, error) {
 func Figure6(load Load, sc Scale) (Table, error) {
 	t := Table{
 		Title:  fmt.Sprintf("Figure 6 (%s load): average waiting time (ms), φ = 4", load),
-		Header: []string{"algorithm", "wait_ms", "stddev_ms"},
+		Header: []string{"algorithm", "wait_ms", "stddev_ms", "p50_ms", "p95_ms", "p99_ms"},
+		Notes:  []string{"quantiles are streaming P² estimates, averaged over seeds (not in the paper's figure)"},
 	}
 	cells := make([]Cell, len(waitAlgorithms))
 	errs := make([]error, len(waitAlgorithms))
@@ -75,7 +76,7 @@ func Figure6(load Load, sc Scale) (Table, error) {
 		return Table{}, err
 	}
 	for i, a := range waitAlgorithms {
-		t.Add(string(a), cells[i].WaitMean, cells[i].WaitStd)
+		t.Add(string(a), cells[i].WaitMean, cells[i].WaitStd, cells[i].WaitP50, cells[i].WaitP95, cells[i].WaitP99)
 	}
 	return t, nil
 }

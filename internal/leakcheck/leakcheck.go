@@ -1,0 +1,43 @@
+// Package leakcheck is a test helper asserting that a component's
+// shutdown terminates every goroutine it started. The live runtime's
+// Close contract — queued and outstanding Acquires fail promptly, loop
+// goroutines exit, no background waiter lingers — is exactly the kind
+// of property that silently regresses without this check.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count. Call the returned
+// function after shutting the component down (defer works): it fails
+// the test unless the count returns to the baseline within a grace
+// period — goroutines legitimately take a moment to unwind after
+// Close, so the check polls instead of sampling once.
+//
+// Use it in tests that do not run in parallel: a concurrent test's
+// goroutines would show up as a false leak.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		n := 0
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d at baseline, %d after shutdown\n%s", before, n, buf)
+	}
+}

@@ -18,20 +18,33 @@
 // activations — exactly the atomicity the algorithms assume. Message
 // queues are unbounded so that no cycle of full mailboxes can deadlock
 // the token exchange.
+//
+// Above the protocol sits the serve layer (internal/serve): a node's
+// single request slot (hypothesis 4) is fed by an admission scheduler,
+// so any number of concurrent Sessions can multiplex onto one node.
+// Sessions enqueue Acquires with deadlines and cancellation; the loop
+// admits them one at a time under the configured policy, with aging
+// guaranteeing starvation freedom.
 package live
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"mralloc/internal/alg"
 	"mralloc/internal/network"
-	"mralloc/internal/resource"
+	"mralloc/internal/serve"
 	"mralloc/internal/sim"
 	"mralloc/internal/transport"
 )
+
+// ErrClosed is returned by Acquire (outstanding or queued) and
+// NewSession once the cluster has been closed. Callers distinguish it
+// from context errors with errors.Is.
+var ErrClosed = errors.New("live: cluster closed")
 
 // Config sizes a live cluster.
 type Config struct {
@@ -48,8 +61,13 @@ type Config struct {
 	// Local lists the node ids hosted by this process. Nil or empty
 	// means all of them (the single-process configuration). Remote
 	// nodes are reachable through the transport but cannot be driven
-	// by this cluster's Acquire or inspected.
+	// by this cluster's sessions or inspected.
 	Local []int
+	// Policy selects the admission ordering of each node's scheduler
+	// (serve.FIFO when empty); Aging is the starvation-freedom
+	// threshold (serve.DefaultAging when zero).
+	Policy serve.Policy
+	Aging  time.Duration
 }
 
 // Cluster is a set of running protocol nodes — all of them in the
@@ -60,6 +78,9 @@ type Cluster struct {
 	tr    transport.Transport
 	loops []*loop // indexed by node id; nil for nodes hosted elsewhere
 	start time.Time
+
+	sessSeq uint64 // session id allocator
+	seqMu   sync.Mutex
 
 	closed  chan struct{}
 	closeMu sync.Mutex
@@ -81,6 +102,9 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 	}
 	if cfg.Nodes < 1 || cfg.Resources < 1 {
 		return fail("need ≥1 node and ≥1 resource, got %d/%d", cfg.Nodes, cfg.Resources)
+	}
+	if _, err := serve.ParsePolicy(string(cfg.Policy)); err != nil {
+		return fail("%v", err)
 	}
 	local := cfg.Local
 	if len(local) == 0 {
@@ -164,6 +188,11 @@ func (c *Cluster) Local(id int) bool {
 	return id >= 0 && id < c.cfg.Nodes && c.loops[id] != nil
 }
 
+// now is the cluster clock: wall time since start, in the same unit
+// the simulation uses, so the serve scheduler runs identically in both
+// runtimes.
+func (c *Cluster) now() sim.Time { return sim.Time(time.Since(c.start)) }
+
 // Stats snapshots the per-kind counters of messages sent through this
 // process's transport endpoint. In a multi-process cluster each
 // process counts its own sends; summing over processes gives the
@@ -193,8 +222,29 @@ func (c *Cluster) Inspect(id int, fn func(alg.Node)) bool {
 	}
 }
 
-// Close stops every local node loop and closes the transport.
-// Outstanding Acquire calls return errors. Close is idempotent.
+// QueueLen reports how many admission requests are queued (not yet fed
+// into the protocol) at node id, for tests and load introspection. It
+// reports 0 for non-local nodes or a closed cluster.
+func (c *Cluster) QueueLen(id int) int {
+	if !c.Local(id) {
+		return 0
+	}
+	n := 0
+	done := make(chan struct{})
+	if !c.loops[id].post(cmdInspect{fn: func(alg.Node) { n = c.loops[id].sched.Len() }, done: done}) {
+		return 0
+	}
+	select {
+	case <-done:
+		return n
+	case <-c.closed:
+		return 0
+	}
+}
+
+// Close stops every local node loop and closes the transport. Every
+// outstanding or queued Acquire fails promptly with ErrClosed, and all
+// loop goroutines exit. Close is idempotent.
 func (c *Cluster) Close() {
 	c.closeMu.Lock()
 	defer c.closeMu.Unlock()
@@ -212,85 +262,19 @@ func (c *Cluster) Close() {
 	c.tr.Close()
 }
 
-// Acquire requests exclusive access to the given resources on behalf of
-// node id and blocks until granted or the context ends. On success the
-// returned function releases the critical section (it must be called
-// exactly once). If the context ends first, the grant — which cannot be
-// revoked mid-protocol — is released automatically when it arrives.
-//
-// A node serves one request at a time (the protocol's hypothesis 4);
-// concurrent Acquire calls on one node serialize. Only locally hosted
-// nodes can acquire.
-func (c *Cluster) Acquire(ctx context.Context, id int, resources ...int) (func(), error) {
-	if !c.Local(id) {
-		return nil, fmt.Errorf("live: no local node %d", id)
-	}
-	if len(resources) == 0 {
-		return nil, fmt.Errorf("live: empty resource set")
-	}
-	rs := resource.NewSet(c.cfg.Resources)
-	for _, r := range resources {
-		if r < 0 || r >= c.cfg.Resources {
-			return nil, fmt.Errorf("live: no resource %d", r)
-		}
-		rs.Add(resource.ID(r))
-	}
-	l := c.loops[id]
-
-	// Serialize requests per node (hypothesis 4).
-	select {
-	case l.slot <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-c.closed:
-		return nil, fmt.Errorf("live: cluster closed")
-	}
-
-	granted := make(chan struct{})
-	if !l.post(cmdRequest{rs: rs, granted: granted}) {
-		<-l.slot
-		return nil, fmt.Errorf("live: cluster closed")
-	}
-	select {
-	case <-granted:
-		var once sync.Once
-		release := func() {
-			once.Do(func() {
-				done := make(chan struct{})
-				l.post(cmdRelease{done: done})
-				<-done
-				<-l.slot
-			})
-		}
-		return release, nil
-	case <-ctx.Done():
-		// The protocol cannot abandon a request: wait for the grant in
-		// the background and give the resources straight back.
-		go func() {
-			<-granted
-			done := make(chan struct{})
-			l.post(cmdRelease{done: done})
-			<-done
-			<-l.slot
-		}()
-		return nil, ctx.Err()
-	case <-c.closed:
-		<-l.slot
-		return nil, fmt.Errorf("live: cluster closed")
-	}
-}
-
 // loop is one site's event loop: a single goroutine applying protocol
-// activations sequentially.
+// activations sequentially. Above the protocol it owns the node's
+// admission scheduler: at most one ticket is fed into the state
+// machine at a time (hypothesis 4); the rest queue under the policy.
 type loop struct {
 	c    *Cluster
 	id   network.NodeID
 	node alg.Node
 
-	mb   mailbox       // envelopes and commands (unbounded, batch-drained)
-	slot chan struct{} // capacity 1: one outstanding request per node
+	mb mailbox // envelopes and commands (unbounded, batch-drained)
 
-	granted chan struct{} // the in-flight request's grant signal
+	sched    *serve.Scheduler
+	inflight *ticket // admitted into the state machine; nil when idle
 }
 
 // mailbox is the loop's unbounded multi-producer queue. The consumer
@@ -349,13 +333,33 @@ type envelope struct {
 	msg  network.Message
 }
 
-type cmdRequest struct {
-	rs      resource.Set
-	granted chan struct{}
+// cmdSubmit enqueues a ticket into the node's admission scheduler.
+type cmdSubmit struct {
+	t *ticket
 }
 
-type cmdRelease struct {
+// cmdCancel withdraws a ticket on behalf of a caller whose context
+// ended: removed from the queue if still queued, marked abandoned if
+// in flight (the grant, when it arrives, is given straight back), or
+// released immediately if the grant already landed. The loop always
+// closes done; the caller returns ctx.Err() either way.
+type cmdCancel struct {
+	t    *ticket
 	done chan struct{}
+}
+
+// cmdRelease ends the critical section of a granted ticket.
+type cmdRelease struct {
+	t    *ticket
+	done chan struct{}
+}
+
+// cmdReap is the loop's note to itself: an abandoned ticket was
+// granted, so release it and admit the next — as a fresh activation,
+// never recursively from inside the Granted callback (the state
+// machines assume Release is a separate activation).
+type cmdReap struct {
+	t *ticket
 }
 
 type cmdInspect struct {
@@ -365,10 +369,10 @@ type cmdInspect struct {
 
 func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
 	l := &loop{
-		c:    c,
-		id:   id,
-		node: node,
-		slot: make(chan struct{}, 1),
+		c:     c,
+		id:    id,
+		node:  node,
+		sched: serve.NewScheduler(c.cfg.Policy, sim.Time(c.cfg.Aging)),
 	}
 	l.mb.nonEmpty.L = &l.mb.mu
 	return l
@@ -385,25 +389,32 @@ func (l *loop) stop() {
 
 // run is the site's event loop goroutine. It drains the mailbox a
 // batch at a time: every message that queued up while the previous
-// batch was being processed is handled under a single wakeup.
+// batch was being processed is handled under a single wakeup. When the
+// mailbox closes it fails every queued and in-flight ticket with
+// ErrClosed, so no Acquire outlives the cluster.
 func (l *loop) run() {
 	var spare []any
 	for {
 		batch, ok := l.mb.takeAll(spare)
 		if !ok {
-			return
+			break
 		}
 		for i, v := range batch {
 			batch[i] = nil // drop the reference as soon as it is handled
 			switch x := v.(type) {
 			case envelope:
 				l.node.Deliver(x.from, x.msg)
-			case cmdRequest:
-				l.granted = x.granted
-				l.node.Request(x.rs)
-			case cmdRelease:
-				l.node.Release()
+			case cmdSubmit:
+				l.sched.Push(&x.t.item, l.c.now())
+				l.maybeAdmit()
+			case cmdCancel:
+				l.cancel(x.t)
 				close(x.done)
+			case cmdRelease:
+				l.release(x.t)
+				close(x.done)
+			case cmdReap:
+				l.release(x.t)
 			case cmdInspect:
 				x.fn(l.node)
 				close(x.done)
@@ -411,16 +422,77 @@ func (l *loop) run() {
 		}
 		spare = batch
 	}
+	// Shutdown: nothing more will be delivered. Fail the queue, then
+	// the in-flight request.
+	for _, it := range l.sched.Drain() {
+		it.V.(*ticket).abort(ErrClosed)
+	}
+	if t := l.inflight; t != nil {
+		l.inflight = nil
+		t.abort(ErrClosed)
+	}
+}
+
+// maybeAdmit feeds the scheduler's next pick into the protocol when
+// the node's single request slot is free.
+func (l *loop) maybeAdmit() {
+	if l.inflight != nil {
+		return
+	}
+	it := l.sched.Pop(l.c.now())
+	if it == nil {
+		return
+	}
+	t := it.V.(*ticket)
+	l.inflight = t
+	t.admitted = l.c.now()
+	l.node.Request(t.rs)
+}
+
+// release ends t's critical section and admits the next request. A
+// stale release (the ticket is no longer in flight — the cluster
+// auto-released it on cancel) is a no-op.
+func (l *loop) release(t *ticket) {
+	if l.inflight != t || !t.inCS {
+		return
+	}
+	l.node.Release()
+	l.inflight = nil
+	l.maybeAdmit()
+}
+
+// cancel withdraws t after its caller's context ended.
+func (l *loop) cancel(t *ticket) {
+	switch {
+	case l.sched.Remove(&t.item):
+		// Still queued: never admitted, nothing to unwind.
+		t.abort(context.Canceled)
+	case l.inflight == t && !t.inCS:
+		// In flight: the protocol cannot abandon a request — mark it
+		// so the grant is given straight back on arrival.
+		t.abandoned = true
+	case l.inflight == t && t.inCS:
+		// Granted, caller didn't take it: give the resources back now.
+		l.node.Release()
+		l.inflight = nil
+		l.maybeAdmit()
+	}
 }
 
 // onGranted runs inside the loop goroutine (via Env.Granted).
 func (l *loop) onGranted() {
-	if l.granted == nil {
+	t := l.inflight
+	if t == nil {
 		panic(fmt.Sprintf("live: node %d granted without a pending request", l.id))
 	}
-	g := l.granted
-	l.granted = nil
-	close(g)
+	t.inCS = true
+	if t.abandoned {
+		// The caller is gone; release as a fresh activation (the state
+		// machines assume Granted has returned before Release runs).
+		l.post(cmdReap{t: t})
+		return
+	}
+	close(t.granted)
 }
 
 // liveEnv adapts a loop to the alg.Env contract.
@@ -433,7 +505,7 @@ func (e *liveEnv) ID() network.NodeID { return e.l.id }
 func (e *liveEnv) N() int             { return e.c.cfg.Nodes }
 func (e *liveEnv) M() int             { return e.c.cfg.Resources }
 
-func (e *liveEnv) Now() sim.Time { return sim.Time(time.Since(e.c.start)) }
+func (e *liveEnv) Now() sim.Time { return e.c.now() }
 
 // Granted runs inside the loop goroutine: the node just entered its CS.
 func (e *liveEnv) Granted() { e.l.onGranted() }

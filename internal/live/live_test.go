@@ -2,6 +2,7 @@ package live
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -161,8 +162,8 @@ func TestCloseUnblocksAcquirers(t *testing.T) {
 	c.Close()
 	select {
 	case err := <-errc:
-		if err == nil {
-			t.Fatal("acquire succeeded after close")
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("acquire after close returned %v, want ErrClosed", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("acquire did not unblock on close")

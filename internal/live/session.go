@@ -1,0 +1,217 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mralloc/internal/resource"
+	"mralloc/internal/serve"
+	"mralloc/internal/sim"
+)
+
+// ErrSessionClosed is returned by Acquire on a closed session.
+var ErrSessionClosed = errors.New("live: session closed")
+
+// ErrSessionBusy is returned when a session's Acquire overlaps another
+// still in flight: a session is one client's serialized stream of
+// requests, and multiplexing happens across sessions, not within one.
+var ErrSessionBusy = errors.New("live: session already has an acquire in flight")
+
+// Session is one client's handle onto a node: a serialized stream of
+// Acquires multiplexed with every other session of the node through
+// the admission scheduler. Any number of sessions may be open on one
+// node; each admits at most one request at a time into the protocol
+// (the paper's hypothesis 4 holds per node, below the sessions).
+//
+// Sessions are safe for concurrent use in the sense that misuse is
+// detected (overlapping Acquires fail with ErrSessionBusy), but a
+// session models one logical client — open more sessions for more
+// concurrency.
+type Session struct {
+	c    *Cluster
+	l    *loop
+	node int
+	id   uint64
+
+	busy   atomic.Bool
+	closed atomic.Bool
+
+	grants atomic.Int64
+}
+
+// NewSession opens a session on node id. Only locally hosted nodes
+// serve sessions.
+func (c *Cluster) NewSession(node int) (*Session, error) {
+	if !c.Local(node) {
+		return nil, fmt.Errorf("live: no local node %d", node)
+	}
+	select {
+	case <-c.closed:
+		return nil, ErrClosed
+	default:
+	}
+	c.seqMu.Lock()
+	c.sessSeq++
+	id := c.sessSeq
+	c.seqMu.Unlock()
+	return &Session{c: c, l: c.loops[node], node: node, id: id}, nil
+}
+
+// ID reports the session's cluster-unique identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Node reports the node the session is attached to.
+func (s *Session) Node() int { return s.node }
+
+// Grants reports how many Acquires this session has completed.
+func (s *Session) Grants() int64 { return s.grants.Load() }
+
+// Close invalidates the session: subsequent Acquires fail with
+// ErrSessionClosed. It does not interrupt an Acquire already in flight
+// (cancel its context for that) and does not revoke a held grant.
+func (s *Session) Close() { s.closed.Store(true) }
+
+// Acquire blocks until the session holds exclusive access to every
+// resource in opts, then returns the release function (call it exactly
+// once; it is idempotent). Requests from all of a node's sessions
+// queue in the admission scheduler and enter the protocol one at a
+// time under the cluster's policy; aging guarantees no session starves.
+//
+// If ctx ends first, the request is withdrawn — immediately when still
+// queued; by handing the grant straight back when the protocol has
+// already committed to it (a grant cannot be revoked mid-protocol).
+// Either way Acquire returns promptly with ctx.Err(). On a closed
+// cluster it returns ErrClosed.
+func (s *Session) Acquire(ctx context.Context, opts serve.AcquireOpts) (func(), error) {
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	if !s.busy.CompareAndSwap(false, true) {
+		return nil, ErrSessionBusy
+	}
+	defer s.busy.Store(false)
+
+	if len(opts.Resources) == 0 {
+		return nil, fmt.Errorf("live: empty resource set")
+	}
+	rs := resource.NewSet(s.c.cfg.Resources)
+	for _, r := range opts.Resources {
+		if r < 0 || r >= s.c.cfg.Resources {
+			return nil, fmt.Errorf("live: no resource %d", r)
+		}
+		rs.Add(resource.ID(r))
+	}
+	deadline := opts.Deadline
+	if deadline.IsZero() {
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+	}
+	var dl sim.Time
+	if !deadline.IsZero() {
+		dl = sim.Time(deadline.Sub(s.c.start))
+		if dl <= 0 {
+			dl = 1 // already due: the nearest possible deadline, not "none"
+		}
+	}
+
+	t := &ticket{
+		rs:      rs,
+		granted: make(chan struct{}),
+		aborted: make(chan error, 1),
+	}
+	t.item = serve.Item{Session: s.id, Size: rs.Len(), Deadline: dl, V: t}
+
+	if !s.l.post(cmdSubmit{t: t}) {
+		return nil, ErrClosed
+	}
+	select {
+	case <-t.granted:
+		s.grants.Add(1)
+		return s.releaseFunc(t), nil
+	case err := <-t.aborted:
+		return nil, err
+	case <-ctx.Done():
+		// Withdraw through the loop; it always answers (or the cluster
+		// is closing, which fails every ticket anyway).
+		done := make(chan struct{})
+		if s.l.post(cmdCancel{t: t, done: done}) {
+			select {
+			case <-done:
+			case <-s.c.closed:
+			}
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc builds the exactly-once release closure for a granted
+// ticket. On a closing cluster the release degrades to a no-op — the
+// loop's shutdown path owns the unwind.
+func (s *Session) releaseFunc(t *ticket) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			done := make(chan struct{})
+			if !s.l.post(cmdRelease{t: t, done: done}) {
+				return
+			}
+			select {
+			case <-done:
+			case <-s.c.closed:
+			}
+		})
+	}
+}
+
+// Acquire is the one-session convenience wrapper: it opens an
+// ephemeral session on node id, performs a single Acquire, and closes
+// the session when the grant is released. See Session.Acquire for the
+// full semantics; concurrent Acquires on one node multiplex through
+// the admission scheduler exactly like long-lived sessions.
+func (c *Cluster) Acquire(ctx context.Context, id int, resources ...int) (func(), error) {
+	s, err := c.NewSession(id)
+	if err != nil {
+		return nil, err
+	}
+	release, err := s.Acquire(ctx, serve.AcquireOpts{Resources: resources})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return func() {
+		release()
+		s.Close()
+	}, nil
+}
+
+// ticket is one admission request in flight: scheduler item, protocol
+// state, and the channels its session waits on. The loop goroutine
+// owns every field after the submit; the session only reads granted
+// and aborted.
+type ticket struct {
+	item serve.Item
+	rs   resource.Set
+
+	granted chan struct{} // closed by the loop when the CS is entered
+	aborted chan error    // receives the terminal error instead
+
+	admitted sim.Time // when the protocol Request was issued (loop only)
+
+	// inCS and abandoned are loop-internal state: granted-but-not-yet
+	// -released, and canceled-while-in-flight respectively.
+	inCS      bool
+	abandoned bool
+}
+
+// abort delivers a terminal error to the session (at most one is ever
+// sent; the buffer makes the send safe when nobody is listening).
+func (t *ticket) abort(err error) {
+	select {
+	case t.aborted <- err:
+	default:
+	}
+}

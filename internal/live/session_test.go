@@ -1,0 +1,248 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mralloc/internal/core"
+	"mralloc/internal/leakcheck"
+	"mralloc/internal/serve"
+)
+
+// TestSessionsMultiplexOneNode: many sessions on a single node must
+// all be served through its one protocol slot, with mutual exclusion
+// intact (checked by a shared holder counter).
+func TestSessionsMultiplexOneNode(t *testing.T) {
+	const sessions, iters, m = 16, 10, 4
+	c := newTestCluster(t, 1, m)
+	holders := make([]atomic.Int32, m)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.NewSession(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			for k := 0; k < iters; k++ {
+				r := (i + k) % m
+				release, err := s.Acquire(context.Background(), serve.AcquireOpts{Resources: []int{r}})
+				if err != nil {
+					t.Errorf("session %d: %v", i, err)
+					return
+				}
+				if got := holders[r].Add(1); got != 1 {
+					t.Errorf("resource %d had %d holders", r, got)
+				}
+				holders[r].Add(-1)
+				release()
+			}
+			if s.Grants() != iters {
+				t.Errorf("session %d counted %d grants, want %d", i, s.Grants(), iters)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSessionBusy: a session is one serialized client; overlapping
+// Acquires on it must fail fast with ErrSessionBusy.
+func TestSessionBusy(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	holder, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := holder.Acquire(context.Background(), serve.AcquireOpts{Resources: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		rel, err := s.Acquire(context.Background(), serve.AcquireOpts{Resources: []int{0}})
+		if err != nil {
+			t.Errorf("blocked acquire failed: %v", err)
+			return
+		}
+		rel()
+	}()
+	<-started
+	// Wait until the first Acquire is genuinely queued.
+	for i := 0; c.QueueLen(0) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Acquire(context.Background(), serve.AcquireOpts{Resources: []int{0}}); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("overlapping acquire returned %v, want ErrSessionBusy", err)
+	}
+	release()
+	<-done
+}
+
+func TestSessionClosed(t *testing.T) {
+	c := newTestCluster(t, 2, 2)
+	s, err := c.NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Acquire(context.Background(), serve.AcquireOpts{Resources: []int{0}}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("acquire on closed session returned %v, want ErrSessionClosed", err)
+	}
+	if _, err := c.NewSession(7); err == nil {
+		t.Fatal("session opened on a node that does not exist")
+	}
+}
+
+// TestCloseFailsQueuedSessionsPromptly is the Close contract: with one
+// grant held and many sessions queued behind it, Close must fail every
+// queued and outstanding Acquire with ErrClosed — promptly, and
+// without leaking a single goroutine.
+func TestCloseFailsQueuedSessionsPromptly(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const queued = 12
+	c, err := New(Config{Nodes: 2, Resources: 1}, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := c.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = release // never called: Close unwinds the holder
+	errs := make(chan error, queued)
+	for i := 0; i < queued; i++ {
+		node := i % 2
+		go func() {
+			_, err := c.Acquire(context.Background(), node, 0)
+			errs <- err
+		}()
+	}
+	// Let the acquirers reach the scheduler queues.
+	for i := 0; c.QueueLen(0)+c.QueueLen(1) < queued-1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < queued; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("queued acquire returned %v, want ErrClosed", err)
+			}
+		case <-deadline:
+			t.Fatalf("only %d/%d queued acquires unblocked after Close", i, queued)
+		}
+	}
+	// A release arriving after Close must not hang either.
+	release()
+}
+
+// TestCancelQueuedAcquire: a context canceled while the request is
+// still queued must withdraw it without perturbing the node.
+func TestCancelQueuedAcquire(t *testing.T) {
+	defer leakcheck.Check(t)()
+	c, err := New(Config{Nodes: 1, Resources: 1}, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	release, err := c.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, 0, 0)
+		errc <- err
+	}()
+	for i := 0; c.QueueLen(0) == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled acquire returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled acquire did not return")
+	}
+	if n := c.QueueLen(0); n != 0 {
+		t.Fatalf("queue still holds %d items after cancel", n)
+	}
+	release()
+	// The node must still serve requests normally.
+	rel2, err := c.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+// TestDeadlineFeedsEDF: under the EDF policy a later-submitted request
+// with a nearer deadline overtakes earlier ones. The holder keeps the
+// resource until every contender is queued, so the admission order is
+// deterministic despite wall-clock scheduling.
+func TestDeadlineFeedsEDF(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Resources: 1, Policy: serve.EDF}, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	release, err := c.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// Session 0: far deadline, submitted first. Session 1: near
+	// deadline, submitted second. EDF must admit 1 before 0.
+	deadlines := []time.Time{time.Now().Add(time.Hour), time.Now().Add(time.Minute)}
+	for i := range deadlines {
+		i := i
+		s, err := c.NewSession(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.Close()
+			rel, err := s.Acquire(context.Background(), serve.AcquireOpts{Resources: []int{0}, Deadline: deadlines[i]})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			rel()
+		}()
+		// Ensure submission order: wait until request i is queued.
+		for k := 0; c.QueueLen(0) <= i && k < 1000; k++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	release()
+	wg.Wait()
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("EDF admission order %v, want [1 0]", order)
+	}
+}

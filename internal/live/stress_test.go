@@ -14,6 +14,7 @@ import (
 	"mralloc/internal/incremental"
 	"mralloc/internal/network"
 	"mralloc/internal/resource"
+	"mralloc/internal/serve"
 	"mralloc/internal/sim"
 	"mralloc/internal/transport"
 	"mralloc/internal/verify"
@@ -35,24 +36,31 @@ func liveAlgorithms() map[string]alg.Factory {
 // TCP loopback, one per node" so the same battery drives both.
 type fabric struct {
 	name string
-	// build returns an Acquire indirection, a per-process stats list,
-	// and a close function.
-	build func(t *testing.T, n, m int, f alg.Factory) *system
+	// buildPolicy returns Acquire/session indirections, a per-process
+	// stats aggregate, and a close function, with the given admission
+	// policy and aging threshold on every node.
+	buildPolicy func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system
+}
+
+// build is buildPolicy at the default (FIFO) admission policy.
+func (fb fabric) build(t *testing.T, n, m int, f alg.Factory) *system {
+	return fb.buildPolicy(t, n, m, f, serve.FIFO, 0)
 }
 
 type system struct {
 	acquire func(ctx context.Context, node int, rs ...int) (func(), error)
+	session func(node int) (*Session, error)
 	stats   func() map[string]int64
 	close   func()
 }
 
 func memFabric() fabric {
-	return fabric{name: "mem", build: func(t *testing.T, n, m int, f alg.Factory) *system {
-		c, err := New(Config{Nodes: n, Resources: m}, f)
+	return fabric{name: "mem", buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
+		c, err := New(Config{Nodes: n, Resources: m, Policy: p, Aging: aging}, f)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &system{acquire: c.Acquire, stats: c.Stats, close: c.Close}
+		return &system{acquire: c.Acquire, session: c.NewSession, stats: c.Stats, close: c.Close}
 	}}
 }
 
@@ -60,7 +68,7 @@ func memFabric() fabric {
 // loopback — the maximally distributed deployment, each endpoint a
 // stand-in for one OS process, every message through the wire codec.
 func tcpFabric() fabric {
-	return fabric{name: "tcp", build: func(t *testing.T, n, m int, f alg.Factory) *system {
+	return fabric{name: "tcp", buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
 		trs := make([]*transport.TCP, n)
 		addrs := make([]string, n)
 		for i := range trs {
@@ -76,7 +84,7 @@ func tcpFabric() fabric {
 			if err := trs[i].Connect(addrs); err != nil {
 				t.Fatal(err)
 			}
-			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}}, f)
+			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}, Policy: p, Aging: aging}, f)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -85,6 +93,9 @@ func tcpFabric() fabric {
 		return &system{
 			acquire: func(ctx context.Context, node int, rs ...int) (func(), error) {
 				return cs[node].Acquire(ctx, node, rs...)
+			},
+			session: func(node int) (*Session, error) {
+				return cs[node].NewSession(node)
 			},
 			stats: func() map[string]int64 {
 				total := make(map[string]int64)

@@ -20,22 +20,32 @@ import (
 	"mralloc/internal/sim"
 )
 
-// Summary holds mean/deviation statistics of a sample set.
+// Summary holds mean/deviation/quantile statistics of a sample set.
+// P50/P95/P99 are streaming estimates (P² algorithm, exact below six
+// samples); mean and max alone hide tail latency under multiplexed
+// load, which is exactly what the serve-layer benchmarks measure.
 type Summary struct {
 	Count  int
 	Mean   float64
 	StdDev float64
 	Min    float64
 	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
 }
 
 // Accum accumulates samples for a Summary using Welford's algorithm,
-// which is numerically stable for long runs.
+// which is numerically stable for long runs, plus one P² estimator per
+// reported quantile — constant memory however long the run.
 type Accum struct {
 	n          int
 	mean, m2   float64
 	min, max   float64
 	hasExtrema bool
+	q50        p2
+	q95        p2
+	q99        p2
 }
 
 // Add records one sample.
@@ -51,11 +61,15 @@ func (a *Accum) Add(x float64) {
 		a.max = x
 	}
 	a.hasExtrema = true
+	a.q50.add(0.50, x)
+	a.q95.add(0.95, x)
+	a.q99.add(0.99, x)
 }
 
 // Summary finalizes the accumulated statistics.
 func (a *Accum) Summary() Summary {
-	s := Summary{Count: a.n, Mean: a.mean, Min: a.min, Max: a.max}
+	s := Summary{Count: a.n, Mean: a.mean, Min: a.min, Max: a.max,
+		P50: a.q50.quantile(0.50), P95: a.q95.quantile(0.95), P99: a.q99.quantile(0.99)}
 	if a.n > 1 {
 		s.StdDev = math.Sqrt(a.m2 / float64(a.n-1))
 	}

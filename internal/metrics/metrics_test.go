@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -232,5 +233,88 @@ func TestJainProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// exactQuantile is the order statistic the P² estimator approximates.
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// TestQuantilesExactWhenSmall: below six samples the estimator must
+// return exact order statistics.
+func TestQuantilesExactWhenSmall(t *testing.T) {
+	var a Accum
+	for _, x := range []float64{30, 10, 50, 20, 40} {
+		a.Add(x)
+	}
+	s := a.Summary()
+	if s.P50 != 30 {
+		t.Errorf("p50 of 5 samples = %v, want 30", s.P50)
+	}
+	if s.P99 != 50 {
+		t.Errorf("p99 of 5 samples = %v, want 50", s.P99)
+	}
+}
+
+// TestQuantilesStreaming: P² estimates on 20k samples from several
+// shapes must land near the exact quantiles. Tolerances are loose —
+// P² is an approximation — but tight enough to catch a broken marker
+// update (which typically lands orders of magnitude off).
+func TestQuantilesStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := map[string]func() float64{
+		"uniform": func() float64 { return rng.Float64() * 100 },
+		"exp":     func() float64 { return rng.ExpFloat64() * 10 },
+		"normal":  func() float64 { return 50 + 12*rng.NormFloat64() },
+	}
+	for name, draw := range shapes {
+		var a Accum
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = draw()
+			a.Add(xs[i])
+		}
+		s := a.Summary()
+		for _, q := range []struct {
+			p   float64
+			got float64
+		}{{0.50, s.P50}, {0.95, s.P95}, {0.99, s.P99}} {
+			want := exactQuantile(xs, q.p)
+			// Tolerance: 5% of the sample range plus a small absolute slack.
+			tol := 0.05*(s.Max-s.Min) + 1e-6
+			if math.Abs(q.got-want) > tol {
+				t.Errorf("%s: p%d = %v, exact %v (tol %v)", name, int(q.p*100), q.got, want, tol)
+			}
+		}
+		if s.P50 > s.P95 || s.P95 > s.P99 {
+			t.Errorf("%s: quantiles not monotone: p50=%v p95=%v p99=%v", name, s.P50, s.P95, s.P99)
+		}
+	}
+}
+
+// TestQuantilesSorted: on already-sorted input (the adversarial case
+// for naive samplers) the estimator must still track the tail.
+func TestQuantilesSorted(t *testing.T) {
+	var a Accum
+	n := 10000
+	for i := 0; i < n; i++ {
+		a.Add(float64(i))
+	}
+	s := a.Summary()
+	if math.Abs(s.P50-float64(n)/2) > 0.05*float64(n) {
+		t.Errorf("p50 = %v, want ≈%v", s.P50, n/2)
+	}
+	if math.Abs(s.P99-0.99*float64(n)) > 0.05*float64(n) {
+		t.Errorf("p99 = %v, want ≈%v", s.P99, int(0.99*float64(n)))
 	}
 }

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// AcquireOpts parameterizes one admission request of a session.
+type AcquireOpts struct {
+	// Resources lists the resource identifiers to lock, all-or-nothing.
+	Resources []int
+	// Deadline, when non-zero, is the instant the session wants
+	// admission by. It feeds deadline-aware policies (EDF); it does
+	// not abort a late request — cancellation comes from the context.
+	// When zero, an Acquire context's deadline (if any) is used.
+	Deadline time.Time
+}
+
+// BackendSession is one session of the cluster the client-port server
+// fronts: at most one Acquire outstanding at a time, Close when the
+// client is done. *live.Session implements it.
+type BackendSession interface {
+	// Acquire blocks until every listed resource is held exclusively,
+	// then returns the release function (idempotent, call exactly
+	// once). If ctx ends first the eventual grant is auto-released and
+	// ctx.Err() returned.
+	Acquire(ctx context.Context, opts AcquireOpts) (func(), error)
+	// Close invalidates the session. It does not revoke a held grant.
+	Close()
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mralloc/internal/network"
+	"mralloc/internal/wire"
+)
+
+// Client speaks the client wire protocol to a daemon's client port:
+// an external process's handle onto a running cluster. One connection
+// multiplexes any number of concurrent Acquires; each is a session on
+// the daemon side, admission-scheduled against everyone else's.
+//
+// Methods are safe for concurrent use.
+type Client struct {
+	c net.Conn
+
+	wmu  sync.Mutex // serializes request frames
+	wbuf []byte     // encoded payload scratch
+	fbuf []byte     // framed payload scratch
+
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]*clientPending
+	err     error // terminal connection error
+	closed  chan struct{}
+}
+
+type clientPending struct {
+	ch chan clientResult // buffered(1): grant or deny
+}
+
+type clientResult struct {
+	granted bool
+	reason  string
+}
+
+// Dial connects to a daemon's client port.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		c:       nc,
+		pending: make(map[uint64]*clientPending),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close drops the connection. The daemon withdraws every pending
+// request and releases every grant this client still held.
+func (c *Client) Close() error {
+	c.fail(fmt.Errorf("serve: client closed"))
+	return nil
+}
+
+// AnyNode targets no node in particular: the daemon picks one of its
+// hosted nodes round-robin.
+const AnyNode = int(network.None)
+
+// Acquire blocks until the daemon grants exclusive access to every
+// listed resource on the given node (AnyNode lets the daemon pick),
+// then returns the release function (call exactly once; idempotent).
+// If ctx ends first the request is withdrawn on the daemon — a grant
+// racing the withdrawal is handed straight back — and ctx.Err()
+// returned.
+func (c *Client) Acquire(ctx context.Context, node int, resources ...int) (func(), error) {
+	return c.AcquireWith(ctx, node, AcquireOpts{Resources: resources})
+}
+
+// AcquireWith is Acquire with explicit options. A non-zero Deadline is
+// shipped as a relative duration (client and daemon clocks need not
+// agree) and feeds the daemon's deadline-aware admission policies.
+func (c *Client) AcquireWith(ctx context.Context, node int, opts AcquireOpts) (func(), error) {
+	if node != AnyNode && node < 0 {
+		return nil, fmt.Errorf("serve: bad node %d", node)
+	}
+	msg := ClientAcquire{Node: network.NodeID(node)}
+	msg.Resources = make([]int64, len(opts.Resources))
+	for i, r := range opts.Resources {
+		msg.Resources[i] = int64(r)
+	}
+	deadline := opts.Deadline
+	if deadline.IsZero() {
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+	}
+	if !deadline.IsZero() {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			ms = 1 // already due: the nearest possible deadline, not "none"
+		}
+		msg.DeadlineMS = ms
+	}
+
+	p := &clientPending{ch: make(chan clientResult, 1)}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.next++
+	id := c.next
+	msg.Req = id
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	if err := c.send(msg); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case res := <-p.ch:
+		if !res.granted {
+			return nil, fmt.Errorf("serve: denied: %s", res.reason)
+		}
+		var once sync.Once
+		return func() {
+			once.Do(func() { c.send(ClientRelease{Req: id}) })
+		}, nil
+	case <-ctx.Done():
+		// Withdraw. If the grant already raced in, the entry is gone
+		// and the daemon treats this as a plain release; otherwise the
+		// daemon cancels the queued request (and sends no response, so
+		// the entry must be dropped here, not by a later dispatch).
+		// Either way nothing stays held on our behalf.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.send(ClientRelease{Req: id})
+		return nil, ctx.Err()
+	case <-c.closed:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.c)
+	for {
+		frame, err := wire.ReadFrame(br, maxClientFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("serve: connection lost: %w", err))
+			return
+		}
+		m, err := wire.Decode(frame)
+		if err != nil {
+			c.fail(fmt.Errorf("serve: bad frame: %w", err))
+			return
+		}
+		switch x := m.(type) {
+		case ClientGrant:
+			c.dispatch(x.Req, clientResult{granted: true})
+		case ClientDeny:
+			c.dispatch(x.Req, clientResult{reason: x.Reason})
+		default:
+			c.fail(fmt.Errorf("serve: unexpected %s from daemon", m.Kind()))
+			return
+		}
+	}
+}
+
+// dispatch hands a response to its waiting Acquire. Responses to
+// unknown requests are dropped: the waiter withdrew (its ClientRelease
+// is already on the wire, so a racing grant is handed straight back by
+// the daemon) or never existed.
+func (c *Client) dispatch(id uint64, res clientResult) {
+	c.mu.Lock()
+	p, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	p.ch <- res
+}
+
+// fail records the terminal error, closes the connection, and wakes
+// every waiter. Idempotent.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	c.mu.Unlock()
+	close(c.closed)
+	c.c.Close()
+}
+
+// send writes one request frame.
+func (c *Client) send(m network.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	payload, err := wire.Append(c.wbuf[:0], m)
+	if err != nil {
+		return err
+	}
+	c.wbuf = payload
+	c.fbuf = wire.AppendFrame(c.fbuf[:0], payload)
+	if _, err := c.c.Write(c.fbuf); err != nil {
+		return fmt.Errorf("serve: write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientTimeoutDoesNotLeakPending: a withdrawn request gets no
+// response from the daemon (the withdraw suppresses grant and deny),
+// so the ctx.Done path must drop its own pending entry — against a
+// black-hole server, repeated timeouts must leave the map empty.
+func TestClientTimeoutDoesNotLeakPending(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			defer c.Close()
+			_, _ = io.Copy(io.Discard, c) // swallow frames, never answer
+		}
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		if _, err := cl.Acquire(ctx, AnyNode, 0); err == nil {
+			t.Fatal("acquire against a black-hole server succeeded")
+		}
+		cancel()
+	}
+	cl.mu.Lock()
+	n := len(cl.pending)
+	cl.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries leaked by timed-out acquires", n)
+	}
+}

@@ -1,0 +1,269 @@
+// Package serve is the admission layer between many concurrent client
+// sessions and the single-slot protocol state machine of one node.
+//
+// The paper's algorithms (hypothesis 4) admit exactly one outstanding
+// request per node, so without this layer a "user" and a "protocol
+// node" are the same thing and Cluster.Acquire is the ceiling on
+// concurrency. The serve layer decouples them: sessions enqueue
+// requests with deadlines and cancellation into a per-node Scheduler,
+// and the node's event loop feeds them one at a time into the state
+// machine under a pluggable policy. The same scheduler runs under the
+// goroutine runtime (internal/live, wall-clock time) and the
+// deterministic simulation (internal/driver, virtual time), so policy
+// behaviour measured in paper-style experiments is the behaviour a
+// live cluster exhibits.
+//
+// Starvation freedom is guaranteed by aging regardless of policy: a
+// request that has waited at least the aging threshold is admitted in
+// arrival order ahead of anything the policy prefers, so every request
+// is admitted after a bounded number of policy-preferred admissions.
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"mralloc/internal/sim"
+)
+
+// Policy names an admission ordering.
+type Policy string
+
+const (
+	// FIFO admits requests in arrival order — maximal predictability,
+	// no reordering.
+	FIFO Policy = "fifo"
+	// SSF (shortest-set-first) admits the request with the fewest
+	// resources first: small requests conflict less and release
+	// sooner, which lowers mean waiting at the cost of tail latency
+	// for large requests (bounded by aging).
+	SSF Policy = "ssf"
+	// EDF (earliest-deadline-first) admits the request with the
+	// nearest deadline first; requests without a deadline sort last,
+	// among themselves in arrival order.
+	EDF Policy = "edf"
+)
+
+// Policies lists every admission policy, in documentation order.
+func Policies() []Policy { return []Policy{FIFO, SSF, EDF} }
+
+// ParsePolicy converts a flag/config string to a Policy. The empty
+// string selects FIFO.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "":
+		return FIFO, nil
+	case FIFO, SSF, EDF:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("serve: unknown policy %q (want fifo, ssf or edf)", s)
+}
+
+// DefaultAging is the aging threshold used when a configuration leaves
+// it zero: long enough that a policy can express a preference, short
+// enough that no request waits unboundedly behind a stream of
+// preferred ones.
+const DefaultAging = 500 * sim.Millisecond
+
+// Item is one queued admission request. Callers fill the public
+// fields, hand the item to Push, and get it back from Pop; V carries
+// the runtime's per-request state (a live ticket, a simulated
+// session). An item belongs to at most one scheduler at a time.
+type Item struct {
+	// Session identifies the submitting session, for fairness
+	// accounting and diagnostics; the scheduler does not interpret it.
+	Session uint64
+	// Size is the number of requested resources — the SSF key.
+	Size int
+	// Deadline is the absolute instant the requester wants admission
+	// by — the EDF key. Zero means none. The scheduler does not abort
+	// late requests; deadlines order, cancellation aborts.
+	Deadline sim.Time
+	// Enqueued is set by Push: the admission queue arrival instant.
+	Enqueued sim.Time
+	// V is the caller's payload, opaque to the scheduler.
+	V any
+
+	seq   uint64 // arrival order, assigned by Push
+	hi    int    // heap index; -1 when not in the heap
+	state itemState
+}
+
+type itemState uint8
+
+const (
+	itemQueued itemState = iota
+	itemPopped
+	itemRemoved
+)
+
+// Scheduler is one node's admission queue. It is a plain data
+// structure — no goroutines, no locks — driven by whichever event loop
+// owns the node: the live runtime calls it inside the node's loop
+// goroutine, the simulation inside the engine. Items may be re-pushed
+// (the simulation reuses one Item per session) once popped or removed.
+type Scheduler struct {
+	policy Policy
+	aging  sim.Time
+	seq    uint64
+	heap   policyHeap
+	// fifo holds every queued item in arrival order (lazily compacted)
+	// so that aged items can be promoted front-first. Each entry pins
+	// the push's seq: an entry whose item has since been popped and
+	// re-pushed no longer matches and is compacted as stale, so a
+	// recycled Item cannot revive its old queue position.
+	fifo []fifoEntry
+}
+
+// fifoEntry is one arrival-order record: the item plus the seq it was
+// pushed under (stale once the item is popped, removed, or re-pushed).
+type fifoEntry struct {
+	it  *Item
+	seq uint64
+}
+
+// stale reports whether the entry no longer describes a queued push.
+func (e fifoEntry) stale() bool {
+	return e.it.state != itemQueued || e.it.seq != e.seq
+}
+
+// NewScheduler builds a scheduler for one node. aging ≤ 0 selects
+// DefaultAging; an unknown policy falls back to FIFO (callers validate
+// with ParsePolicy).
+func NewScheduler(p Policy, aging sim.Time) *Scheduler {
+	if aging <= 0 {
+		aging = DefaultAging
+	}
+	switch p {
+	case FIFO, SSF, EDF:
+	default:
+		p = FIFO
+	}
+	s := &Scheduler{policy: p, aging: aging}
+	s.heap.policy = p
+	return s
+}
+
+// Policy reports the admission policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Len reports how many items are queued.
+func (s *Scheduler) Len() int { return s.heap.Len() }
+
+// Push enqueues it at instant now.
+func (s *Scheduler) Push(it *Item, now sim.Time) {
+	it.Enqueued = now
+	it.seq = s.seq
+	s.seq++
+	it.state = itemQueued
+	it.hi = -1
+	heap.Push(&s.heap, it)
+	s.fifo = append(s.fifo, fifoEntry{it: it, seq: it.seq})
+}
+
+// Pop removes and returns the next item to admit at instant now, or
+// nil when the queue is empty. An item that has waited at least the
+// aging threshold is returned in arrival order ahead of the policy's
+// preference — the starvation-freedom guarantee.
+func (s *Scheduler) Pop(now sim.Time) *Item {
+	// Compact stale fifo entries (popped via the heap, removed, or
+	// re-pushed under a newer seq).
+	for len(s.fifo) > 0 && s.fifo[0].stale() {
+		s.fifo[0] = fifoEntry{}
+		s.fifo = s.fifo[1:]
+	}
+	if len(s.fifo) == 0 {
+		return nil
+	}
+	if oldest := s.fifo[0].it; now-oldest.Enqueued >= s.aging {
+		s.fifo[0] = fifoEntry{}
+		s.fifo = s.fifo[1:]
+		heap.Remove(&s.heap, oldest.hi)
+		oldest.state = itemPopped
+		return oldest
+	}
+	it := heap.Pop(&s.heap).(*Item)
+	it.state = itemPopped // its fifo entry is skipped lazily
+	return it
+}
+
+// Remove cancels a queued item, reporting whether it was still queued
+// (false once popped or already removed).
+func (s *Scheduler) Remove(it *Item) bool {
+	if it.state != itemQueued {
+		return false
+	}
+	heap.Remove(&s.heap, it.hi)
+	it.state = itemRemoved // its fifo entry is skipped lazily
+	return true
+}
+
+// Drain removes and returns every queued item in arrival order — the
+// shutdown path, where each must be failed distinctly.
+func (s *Scheduler) Drain() []*Item {
+	var out []*Item
+	for _, e := range s.fifo {
+		if e.it != nil && !e.stale() {
+			e.it.state = itemRemoved
+			e.it.hi = -1
+			out = append(out, e.it)
+		}
+	}
+	s.fifo = nil
+	s.heap.items = nil
+	return out
+}
+
+// policyHeap orders queued items by the policy key, arrival order
+// breaking ties (and being the whole key under FIFO).
+type policyHeap struct {
+	policy Policy
+	items  []*Item
+}
+
+func (h *policyHeap) Len() int { return len(h.items) }
+
+func (h *policyHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	switch h.policy {
+	case SSF:
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+	case EDF:
+		da, db := deadlineKey(a), deadlineKey(b)
+		if da != db {
+			return da < db
+		}
+	}
+	return a.seq < b.seq
+}
+
+func deadlineKey(it *Item) sim.Time {
+	if it.Deadline == 0 {
+		return sim.Time(math.MaxInt64)
+	}
+	return it.Deadline
+}
+
+func (h *policyHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].hi = i
+	h.items[j].hi = j
+}
+
+func (h *policyHeap) Push(x any) {
+	it := x.(*Item)
+	it.hi = len(h.items)
+	h.items = append(h.items, it)
+}
+
+func (h *policyHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	it.hi = -1
+	return it
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mralloc/internal/network"
+	"mralloc/internal/wire"
+)
+
+// maxClientFrame bounds one client-port frame. Client messages are
+// tiny (an acquire names a few resources); the cap only keeps a
+// corrupt or hostile length prefix from demanding gigabytes.
+const maxClientFrame = 1 << 20
+
+// ServerConfig sizes a client-port server.
+type ServerConfig struct {
+	// Listen is the TCP address of the client port (":0" picks a free
+	// port; Addr reports it).
+	Listen string
+	// Nodes and Resources are the cluster shape, used to validate
+	// inbound frames and client requests.
+	Nodes, Resources int
+	// Local lists the node ids this process hosts — the candidates
+	// for requests that do not target a node.
+	Local []int
+	// Open opens a session on a locally hosted node; the server opens
+	// one per admitted client request and closes it when the request
+	// is released, denied or the connection drops.
+	Open func(node int) (BackendSession, error)
+}
+
+// Server is one daemon's client port: it accepts connections from
+// external processes and serves any number of concurrent acquisition
+// requests per connection, each one a session multiplexed onto the
+// hosted nodes through the admission scheduler. The peer protocol
+// (node to node) never touches this port.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	rr atomic.Uint64 // round-robin cursor over cfg.Local
+
+	sessions atomic.Int64 // in-flight client requests, for introspection
+
+	closeMu sync.Mutex
+	closed  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer opens the client port. The caller owns the backend; Close
+// stops accepting and unwinds every in-flight client request, but
+// does not close the cluster behind Open.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Nodes < 1 || cfg.Resources < 1 {
+		return nil, fmt.Errorf("serve: need ≥1 node and ≥1 resource, got %d/%d", cfg.Nodes, cfg.Resources)
+	}
+	if len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("serve: no local nodes to serve")
+	}
+	for _, id := range cfg.Local {
+		if id < 0 || id >= cfg.Nodes {
+			return nil, fmt.Errorf("serve: local node %d outside [0,%d)", id, cfg.Nodes)
+		}
+	}
+	if cfg.Open == nil {
+		return nil, fmt.Errorf("serve: nil Open")
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Listen, err)
+	}
+	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the client port's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Sessions reports how many client requests are currently in flight
+// (queued, admitted, or holding a grant).
+func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// Close stops the client port: the listener closes, every connection
+// drops, and every in-flight request is withdrawn or released exactly
+// as if its client had disconnected. Idempotent.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	select {
+	case <-s.closed:
+		s.closeMu.Unlock()
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.closeMu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serve(c)
+	}
+}
+
+// connReq is one client request's server-side state. The connection
+// lock guards state transitions; the acquire goroutine holds no lock
+// while blocked in Acquire.
+type connReq struct {
+	sess      BackendSession
+	cancel    context.CancelFunc
+	release   func() // set once granted
+	withdrawn bool   // client released before the grant landed
+}
+
+// conn is one client connection.
+type conn struct {
+	s    *Server
+	c    net.Conn
+	wmu  sync.Mutex // serializes response frames
+	wbuf []byte     // encoded payload scratch
+	fbuf []byte     // framed payload scratch
+
+	mu   sync.Mutex
+	reqs map[uint64]*connReq
+	wg   sync.WaitGroup // acquire goroutines
+}
+
+func (s *Server) serve(nc net.Conn) {
+	defer s.wg.Done()
+	cn := &conn{s: s, c: nc, reqs: make(map[uint64]*connReq)}
+	done := make(chan struct{})
+	defer close(done)
+	go func() { // unblock the pending Read when the server closes
+		select {
+		case <-s.closed:
+			nc.Close()
+		case <-done:
+		}
+	}()
+	cn.readLoop()
+	// The connection is gone: withdraw every pending request and hand
+	// back every held grant, so a crashed client strands nothing.
+	cn.mu.Lock()
+	reqs := cn.reqs
+	cn.reqs = nil
+	for _, r := range reqs {
+		r.withdrawn = true
+		r.cancel()
+		if r.release != nil {
+			r.release()
+			r.sess.Close()
+			s.sessions.Add(-1)
+		}
+	}
+	cn.mu.Unlock()
+	cn.wg.Wait()
+	nc.Close()
+}
+
+func (cn *conn) readLoop() {
+	br := bufio.NewReader(cn.c)
+	for {
+		frame, err := wire.ReadFrame(br, maxClientFrame)
+		if err != nil {
+			return
+		}
+		m, err := wire.DecodeFor(frame, cn.s.cfg.Nodes, cn.s.cfg.Resources)
+		if err != nil {
+			return // malformed frame: kill the connection
+		}
+		switch x := m.(type) {
+		case ClientAcquire:
+			if !cn.handleAcquire(x) {
+				return // protocol violation: kill the connection
+			}
+		case ClientRelease:
+			cn.handleRelease(x.Req)
+		default:
+			return // a client must not send server-side kinds
+		}
+	}
+}
+
+// handleAcquire admits one client request, reporting false when the
+// frame is a protocol violation and the connection must die. Requests
+// with bad arguments are merely denied — only a reused in-flight
+// request id is fatal: denying it would carry the original request's
+// id, which a conforming client must treat as that request's outcome,
+// stranding the real grant when it lands.
+func (cn *conn) handleAcquire(x ClientAcquire) bool {
+	deny := func(format string, args ...any) {
+		cn.send(ClientDeny{Req: x.Req, Reason: fmt.Sprintf(format, args...)})
+	}
+	if len(x.Resources) == 0 {
+		deny("empty resource set")
+		return true
+	}
+	resources := make([]int, len(x.Resources))
+	for i, r := range x.Resources {
+		if r < 0 || r >= int64(cn.s.cfg.Resources) {
+			deny("no resource %d", r)
+			return true
+		}
+		resources[i] = int(r)
+	}
+	node := int(x.Node)
+	if x.Node == network.None {
+		node = cn.s.cfg.Local[int(cn.s.rr.Add(1))%len(cn.s.cfg.Local)]
+	} else if !cn.s.hostsLocally(node) {
+		deny("node %d is not hosted by this daemon", node)
+		return true
+	}
+	var opts AcquireOpts
+	opts.Resources = resources
+	if x.DeadlineMS > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(x.DeadlineMS) * time.Millisecond)
+	}
+
+	sess, err := cn.s.cfg.Open(node)
+	if err != nil {
+		deny("%v", err)
+		return true
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &connReq{sess: sess, cancel: cancel}
+	cn.mu.Lock()
+	if cn.reqs == nil {
+		cn.mu.Unlock()
+		cancel()
+		sess.Close()
+		return false // connection already torn down
+	}
+	if _, dup := cn.reqs[x.Req]; dup {
+		cn.mu.Unlock()
+		cancel()
+		sess.Close()
+		return false // id reuse while in flight: unrecoverable ambiguity
+	}
+	cn.reqs[x.Req] = r
+	cn.mu.Unlock()
+	cn.s.sessions.Add(1)
+
+	cn.wg.Add(1)
+	go func() {
+		defer cn.wg.Done()
+		release, err := sess.Acquire(ctx, opts)
+		cn.mu.Lock()
+		if err != nil {
+			withdrawn := r.withdrawn
+			delete(cn.reqs, x.Req)
+			cn.mu.Unlock()
+			cn.s.sessions.Add(-1)
+			sess.Close()
+			if !withdrawn {
+				deny("%v", err)
+			}
+			return
+		}
+		if r.withdrawn {
+			// Released (or disconnected) before the grant landed: give
+			// it straight back.
+			delete(cn.reqs, x.Req)
+			cn.mu.Unlock()
+			cn.s.sessions.Add(-1)
+			release()
+			sess.Close()
+			return
+		}
+		r.release = release
+		cn.mu.Unlock()
+		cn.send(ClientGrant{Req: x.Req})
+	}()
+	return true
+}
+
+func (cn *conn) handleRelease(req uint64) {
+	cn.mu.Lock()
+	r, ok := cn.reqs[req]
+	if !ok {
+		cn.mu.Unlock()
+		return // unknown or already finished: releases are idempotent
+	}
+	if r.release != nil {
+		delete(cn.reqs, req)
+		cn.mu.Unlock()
+		r.release()
+		r.sess.Close()
+		cn.s.sessions.Add(-1)
+		return
+	}
+	// Not granted yet: withdraw. The acquire goroutine unwinds it.
+	r.withdrawn = true
+	r.cancel()
+	cn.mu.Unlock()
+}
+
+// send writes one response frame. Write errors just mark the
+// connection dead — the read loop notices and unwinds.
+func (cn *conn) send(m network.Message) {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	payload, err := wire.Append(cn.wbuf[:0], m)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encoding own message: %v", err))
+	}
+	cn.wbuf = payload
+	cn.fbuf = wire.AppendFrame(cn.fbuf[:0], payload)
+	if _, err := cn.c.Write(cn.fbuf); err != nil {
+		cn.c.Close()
+	}
+}
+
+func (s *Server) hostsLocally(node int) bool {
+	for _, id := range s.cfg.Local {
+		if id == node {
+			return true
+		}
+	}
+	return false
+}

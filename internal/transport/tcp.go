@@ -190,8 +190,7 @@ func (t *TCP) Send(from, to network.NodeID, m network.Message) {
 		return
 	}
 	oc.buf = payload // keep the grown capacity for the next frame
-	frame := binary.AppendUvarint(oc.prefix[:0], uint64(len(payload)))
-	frame = append(frame, payload...)
+	frame := wire.AppendFrame(oc.prefix[:0], payload)
 	oc.prefix = frame
 	if _, err := oc.c.Write(frame); err != nil {
 		oc.broken = true // next Send to this peer redials
@@ -302,17 +301,8 @@ func (t *TCP) serve(c net.Conn) {
 		t.shapeMu.RLock()
 		resources := t.resources
 		t.shapeMu.RUnlock()
-		size, err := binary.ReadUvarint(br)
+		frame, err := wire.ReadFrame(br, maxFrame)
 		if err != nil {
-			t.connErr(c, err)
-			return
-		}
-		if size > maxFrame {
-			t.connErr(c, fmt.Errorf("frame of %d bytes exceeds limit %d", size, maxFrame))
-			return
-		}
-		frame := make([]byte, size)
-		if _, err := io.ReadFull(br, frame); err != nil {
 			t.connErr(c, err)
 			return
 		}

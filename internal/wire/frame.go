@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing, shared by every connection that carries wire
+// messages — the peer transport (internal/transport) and the client
+// port (internal/serve). One frame is a uvarint length prefix followed
+// by that many payload bytes; what the payload holds (a routed peer
+// message with sender/receiver header, a bare client message) is the
+// stream's business, but the framing itself lives here so the sites
+// can never diverge.
+
+// AppendFrame appends payload as one frame onto dst, returning the
+// extended buffer (pass a recycled buffer's [:0] to avoid allocating).
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from br, rejecting lengths above max — a
+// corrupt or hostile prefix must not demand gigabytes. A clean
+// end-of-stream at a frame boundary surfaces as io.EOF.
+func ReadFrame(br *bufio.Reader, max uint64) ([]byte, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if size > max {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", size, max)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -9,11 +9,13 @@ import (
 	"mralloc/internal/resource"
 	"mralloc/internal/wire"
 
-	// Each protocol package registers its message codecs in init.
+	// Each protocol package registers its message codecs in init; the
+	// serve package registers the client-facing kinds the same way.
 	_ "mralloc/internal/bouabdallah"
 	_ "mralloc/internal/core"
 	_ "mralloc/internal/incremental"
 	_ "mralloc/internal/pmutex"
+	_ "mralloc/internal/serve"
 )
 
 // expectedKinds is every message kind that can cross a live-cluster
@@ -22,6 +24,7 @@ import (
 // runtime in a TCP cluster.
 var expectedKinds = []string{
 	"BL.CTRequest", "BL.CTToken", "BL.Inquire", "BL.ResToken",
+	"Client.Acquire", "Client.Deny", "Client.Grant", "Client.Release",
 	"Inc.Request", "Inc.Token",
 	"LASS.Request", "LASS.Response",
 	"PMutex.Request", "PMutex.Token",

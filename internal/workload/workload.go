@@ -137,12 +137,27 @@ type Generator struct {
 // NewGenerator builds the stream for one site. Distinct sites get
 // distinct independent streams derived from the run seed.
 func NewGenerator(cfg Config, site int) *Generator {
+	return NewSessionGenerator(cfg, site, 0)
+}
+
+// NewSessionGenerator builds the stream for one session of a site —
+// the multiplexed-sessions experiments run several independent request
+// cycles per site. Session 0 is stream-for-stream identical to
+// NewGenerator(cfg, site), so single-session scenarios (and their
+// pinned draws) are untouched by the serve layer; higher sessions get
+// their own independent substreams. Zone locality follows the site,
+// not the session: a site's sessions share its home zone.
+func NewSessionGenerator(cfg Config, site, session int) *Generator {
+	key := fmt.Sprintf("%d", site)
+	if session > 0 {
+		key = fmt.Sprintf("%d.s%d", site, session)
+	}
 	g := &Generator{
 		cfg:         cfg,
-		sizes:       sim.Stream(cfg.Seed, fmt.Sprintf("wl/size/%d", site)),
-		picks:       sim.Stream(cfg.Seed, fmt.Sprintf("wl/pick/%d", site)),
-		think:       sim.Stream(cfg.Seed, fmt.Sprintf("wl/think/%d", site)),
-		sampleSeeds: sim.Stream(cfg.Seed, fmt.Sprintf("wl/sample/%d", site)),
+		sizes:       sim.Stream(cfg.Seed, "wl/size/"+key),
+		picks:       sim.Stream(cfg.Seed, "wl/pick/"+key),
+		think:       sim.Stream(cfg.Seed, "wl/think/"+key),
+		sampleSeeds: sim.Stream(cfg.Seed, "wl/sample/"+key),
 	}
 	if cfg.Zones > 1 {
 		g.zone = site / (cfg.N / cfg.Zones)

@@ -2,8 +2,10 @@ package mralloc
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -252,5 +254,84 @@ func TestLoanStatsRaceFree(t *testing.T) {
 	final := c.LoanStats()
 	if final.Granted > final.Asked {
 		t.Fatalf("granted %d > asked %d", final.Granted, final.Asked)
+	}
+}
+
+// TestClusterSessions drives the public Session API: many sessions
+// multiplexed onto few nodes under each policy, mutual exclusion
+// checked with shared counters.
+func TestClusterSessions(t *testing.T) {
+	for _, policy := range []Policy{PolicyFIFO, PolicySSF, PolicyEDF} {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) {
+			t.Parallel()
+			const nodes, m, sessions, iters = 2, 6, 8, 6
+			c, err := NewCluster(ClusterConfig{Nodes: nodes, Resources: m, Policy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			holders := make([]atomic.Int32, m)
+			var wg sync.WaitGroup
+			for i := 0; i < sessions; i++ {
+				i := i
+				s, err := c.NewSession(i % nodes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer s.Close()
+					for k := 0; k < iters; k++ {
+						r1 := (i + k) % m
+						r2 := (i + k + 1) % m
+						release, err := s.AcquireWith(context.Background(), AcquireOpts{
+							Resources: []int{r1, r2},
+							Deadline:  time.Now().Add(time.Duration(i+1) * time.Second),
+						})
+						if err != nil {
+							t.Errorf("session %d: %v", i, err)
+							return
+						}
+						for _, r := range []int{r1, r2} {
+							if got := holders[r].Add(1); got != 1 {
+								t.Errorf("resource %d had %d holders", r, got)
+							}
+						}
+						for _, r := range []int{r1, r2} {
+							holders[r].Add(-1)
+						}
+						release()
+					}
+					if s.Grants() != iters {
+						t.Errorf("session %d: %d grants, want %d", i, s.Grants(), iters)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestClusterSessionErrors(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 1, Resources: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.NewSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Acquire(context.Background(), 0); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("acquire on closed session: %v, want ErrSessionClosed", err)
+	}
+	if _, err := NewCluster(ClusterConfig{Nodes: 1, Resources: 1, Policy: "lifo"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	c.Close()
+	if _, err := c.NewSession(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("session on closed cluster: %v, want ErrClosed", err)
 	}
 }
