@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // -pprof exposes the default mux's profiles
 	"os"
 	"os/signal"
 	"sort"
@@ -51,24 +53,42 @@ import (
 	"mralloc/internal/transport"
 )
 
+// daemonConfig carries the parsed flags into run.
+type daemonConfig struct {
+	nodes, resources int
+	algName          string
+	listen           string
+	peersCSV         string
+	localCSV         string
+	ops, phi         int
+	think            time.Duration
+	seed             int64
+	linger           time.Duration
+	clientListen     string
+	policyStr        string
+	maxQueue         int
+	pprofAddr        string
+}
+
 func main() {
-	var (
-		nodes     = flag.Int("nodes", 3, "total number of nodes N in the cluster")
-		resources = flag.Int("resources", 16, "number of resources M")
-		algName   = flag.String("alg", "counter-loan", "algorithm: counter-loan, counter-no-loan, incremental, bouabdallah")
-		listen    = flag.String("listen", "127.0.0.1:7000", "TCP listen address of this process")
-		peersCSV  = flag.String("peers", "", "comma-separated list of N addresses; entry i hosts node i")
-		localCSV  = flag.String("local", "0", "comma-separated node ids hosted by this process")
-		ops       = flag.Int("ops", 0, "random acquire/release cycles per local node (0 = serve until signal)")
-		clientL   = flag.String("client-listen", "", "TCP address of the client port (empty = no client port)")
-		policyStr = flag.String("policy", "fifo", "admission policy for multiplexed sessions: fifo, ssf, edf")
-		linger    = flag.Duration("linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
-		phi       = flag.Int("phi", 4, "maximum resources per request (workload mode)")
-		think     = flag.Duration("think", time.Millisecond, "mean pause between requests (workload mode)")
-		seed      = flag.Int64("seed", 1, "workload RNG seed")
-	)
+	var cfg daemonConfig
+	flag.IntVar(&cfg.nodes, "nodes", 3, "total number of nodes N in the cluster")
+	flag.IntVar(&cfg.resources, "resources", 16, "number of resources M")
+	flag.StringVar(&cfg.algName, "alg", "counter-loan", "algorithm: counter-loan, counter-no-loan, incremental, bouabdallah")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7000", "TCP listen address of this process")
+	flag.StringVar(&cfg.peersCSV, "peers", "", "comma-separated list of N addresses; entry i hosts node i")
+	flag.StringVar(&cfg.localCSV, "local", "0", "comma-separated node ids hosted by this process")
+	flag.IntVar(&cfg.ops, "ops", 0, "random acquire/release cycles per local node (0 = serve until signal)")
+	flag.StringVar(&cfg.clientListen, "client-listen", "", "TCP address of the client port (empty = no client port)")
+	flag.StringVar(&cfg.policyStr, "policy", "fifo", "admission policy for multiplexed sessions: fifo, ssf, edf")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "deny client acquires with ErrOverloaded once a node has this many waiting (0 = unbounded)")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	flag.DurationVar(&cfg.linger, "linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
+	flag.IntVar(&cfg.phi, "phi", 4, "maximum resources per request (workload mode)")
+	flag.DurationVar(&cfg.think, "think", time.Millisecond, "mean pause between requests (workload mode)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
 	flag.Parse()
-	if err := run(*nodes, *resources, *algName, *listen, *peersCSV, *localCSV, *ops, *phi, *think, *seed, *linger, *clientL, *policyStr); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mrallocd:", err)
 		os.Exit(1)
 	}
@@ -108,28 +128,43 @@ func parseIDs(csv string, n int) ([]int, error) {
 	return out, nil
 }
 
-func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, phi int, think time.Duration, seed int64, linger time.Duration, clientListen, policyStr string) error {
-	factory, err := factoryFor(algName)
+func run(cfg daemonConfig) error {
+	nodes, resources := cfg.nodes, cfg.resources
+	ops, phi, think, seed, linger := cfg.ops, cfg.phi, cfg.think, cfg.seed, cfg.linger
+	factory, err := factoryFor(cfg.algName)
 	if err != nil {
 		return err
 	}
-	policy, err := serve.ParsePolicy(policyStr)
+	policy, err := serve.ParsePolicy(cfg.policyStr)
 	if err != nil {
 		return err
 	}
-	local, err := parseIDs(localCSV, nodes)
+	local, err := parseIDs(cfg.localCSV, nodes)
 	if err != nil {
 		return err
 	}
-	peers := strings.Split(peersCSV, ",")
-	if peersCSV == "" || len(peers) != nodes {
+	peers := strings.Split(cfg.peersCSV, ",")
+	if cfg.peersCSV == "" || len(peers) != nodes {
 		return fmt.Errorf("-peers must list exactly %d addresses, got %d", nodes, len(peers))
 	}
 	if phi < 1 || phi > resources {
 		return fmt.Errorf("-phi %d outside [1, %d]", phi, resources)
 	}
+	if cfg.pprofAddr != "" {
+		// Profiles for live bench/debug runs: the default mux carries
+		// net/http/pprof. Failure to bind is fatal — a daemon asked to
+		// be profiled silently not serving profiles wastes the session.
+		errc := make(chan error, 1)
+		go func() { errc <- http.ListenAndServe(cfg.pprofAddr, nil) }()
+		select {
+		case err := <-errc:
+			return fmt.Errorf("-pprof %s: %w", cfg.pprofAddr, err)
+		case <-time.After(100 * time.Millisecond):
+			fmt.Printf("mrallocd: pprof on http://%s/debug/pprof/\n", cfg.pprofAddr)
+		}
+	}
 
-	tr, err := transport.ListenTCP(listen, nodes, local...)
+	tr, err := transport.ListenTCP(cfg.listen, nodes, local...)
 	if err != nil {
 		return err
 	}
@@ -149,21 +184,22 @@ func run(nodes, resources int, algName, listen, peersCSV, localCSV string, ops, 
 	}
 	defer cluster.Close()
 	fmt.Printf("mrallocd: hosting nodes %v of %d (%s, M=%d) on %s\n",
-		local, nodes, algName, resources, tr.Addr())
+		local, nodes, cfg.algName, resources, tr.Addr())
 
-	if clientListen != "" {
+	if cfg.clientListen != "" {
 		srv, err := serve.NewServer(serve.ServerConfig{
-			Listen:    clientListen,
+			Listen:    cfg.clientListen,
 			Nodes:     nodes,
 			Resources: resources,
 			Local:     local,
+			MaxQueue:  cfg.maxQueue,
 			Open:      func(node int) (serve.BackendSession, error) { return cluster.NewSession(node) },
 		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("mrallocd: client port on %s (policy %s)\n", srv.Addr(), policy)
+		fmt.Printf("mrallocd: client port on %s (policy %s, max-queue %d)\n", srv.Addr(), policy, cfg.maxQueue)
 	}
 
 	if ops <= 0 {

@@ -35,6 +35,9 @@ type Scenario struct {
 	// Run executes the scenario under b and attaches extra metrics via
 	// b.ReportMetric (msg_per_cs, grants_per_op, events_per_op).
 	Run func(b *testing.B)
+	// Post, when non-nil, decorates the measured Result with metrics
+	// that cannot ride b.ReportMetric (strings — the batch histogram).
+	Post func(r *Result)
 }
 
 // simWorkload is the paper-standard workload at the given cluster size.
@@ -311,6 +314,7 @@ func Grid() []Scenario {
 	out = append(out, ServeGrid()...)
 	out = append(out, MicroGrid()...)
 	out = append(out, LiveGrid()...)
+	out = append(out, TCPLoopGrid()...)
 	return out
 }
 
@@ -345,6 +349,15 @@ func Measure(s Scenario) Result {
 	if v, ok := r.Extra["wait_p99_ms"]; ok {
 		res.WaitP99MS = round3(v)
 	}
+	if v, ok := r.Extra["writes_per_op"]; ok {
+		res.WritesPerOp = round3(v)
+	}
+	if v, ok := r.Extra["wire_bytes_per_op"]; ok {
+		res.WireBytesPerOp = round3(v)
+	}
+	if v, ok := r.Extra["avg_batch_frames"]; ok {
+		res.AvgBatchFrames = round3(v)
+	}
 	if res.NsPerOp > 0 {
 		ops := 1e9 / float64(res.NsPerOp)
 		if res.GrantsPerOp > 0 {
@@ -352,6 +365,9 @@ func Measure(s Scenario) Result {
 			// harness pushes through one real second of simulation.
 			res.CSPerSec = round3(ops * float64(res.GrantsPerOp))
 		}
+	}
+	if s.Post != nil {
+		s.Post(&res)
 	}
 	return res
 }

@@ -60,6 +60,68 @@ func TestReportDeltasAndMarshal(t *testing.T) {
 	}
 }
 
+// TestTCPLoopbackSmoke runs one tcp-loopback cell end to end — real
+// sockets, real daemons, real serve.Clients — and gates the report schema:
+// the wire-path fields the tier exists to record must be present and
+// sane, and must survive a JSON round trip under the frozen schema
+// name. This is the CI bench-delta job: a short run that fails on
+// schema drift rather than on machine-dependent numbers.
+func TestTCPLoopbackSmoke(t *testing.T) {
+	grid := TCPLoopGrid()
+	if len(grid) == 0 {
+		t.Fatal("empty tcploop grid")
+	}
+	// One batched cell is enough for CI; the full grid runs via
+	// cmd/bench.
+	var s Scenario
+	for _, c := range grid {
+		if strings.HasSuffix(c.Name, "/batch") {
+			s = c
+			break
+		}
+	}
+	if s.Run == nil {
+		t.Fatal("no batched tcploop scenario in the grid")
+	}
+	r := Measure(s)
+	if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 {
+		t.Fatalf("no wall-clock measurement: %+v", r)
+	}
+	if r.WritesPerOp <= 0 || r.WireBytesPerOp <= 0 {
+		t.Fatalf("wire-path metrics missing: %+v", r)
+	}
+	if r.AvgBatchFrames < 1 {
+		t.Fatalf("avg batch below one frame per flush: %+v", r)
+	}
+	if r.MsgPerCS <= 0 {
+		t.Fatalf("no protocol traffic recorded: %+v", r)
+	}
+	if r.BatchHist == "" {
+		t.Fatalf("batch histogram missing: %+v", r)
+	}
+	// Schema drift gate: the row must round-trip with its wire-path
+	// keys intact under the frozen schema string.
+	rep := NewReport([]Result{r})
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["schema"] != Schema {
+		t.Fatalf("schema = %v, want %v", raw["schema"], Schema)
+	}
+	row := raw["current"].([]any)[0].(map[string]any)
+	for _, key := range []string{"scenario", "ns_per_op", "allocs_per_op",
+		"writes_per_op", "wire_bytes_per_op", "avg_batch_frames", "batch_hist"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("report row missing %q (schema drift): %v", key, row)
+		}
+	}
+}
+
 // TestMeasureDeterministicMetrics runs one sim scenario twice and
 // checks the protocol-level metrics reproduce exactly — the property
 // that makes BENCH_*.json regenerable. Wall-clock fields only need to

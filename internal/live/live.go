@@ -76,7 +76,8 @@ type Config struct {
 type Cluster struct {
 	cfg   Config
 	tr    transport.Transport
-	loops []*loop // indexed by node id; nil for nodes hosted elsewhere
+	bs    transport.BatchSender // tr's batch face, nil when unsupported
+	loops []*loop               // indexed by node id; nil for nodes hosted elsewhere
 	start time.Time
 
 	sessSeq uint64 // session id allocator
@@ -156,6 +157,7 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 		start:  time.Now(),
 		closed: make(chan struct{}),
 	}
+	c.bs, _ = tr.(transport.BatchSender)
 	c.loops = make([]*loop, cfg.Nodes)
 	for _, id := range local {
 		c.loops[id] = newLoop(c, network.NodeID(id), nodes[id])
@@ -165,7 +167,7 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 	for _, id := range local {
 		l := c.loops[id]
 		tr.Bind(l.id, func(from network.NodeID, m network.Message) {
-			l.post(envelope{from: from, msg: m})
+			l.postEnv(envelope{from: from, msg: m})
 		})
 	}
 	for _, id := range local {
@@ -266,6 +268,15 @@ func (c *Cluster) Close() {
 // activations sequentially. Above the protocol it owns the node's
 // admission scheduler: at most one ticket is fed into the state
 // machine at a time (hypothesis 4); the rest queue under the policy.
+//
+// The loop also owns the node's egress batching: while a mailbox batch
+// is being processed, protocol sends accumulate in a per-destination
+// outbox instead of hitting the transport one call at a time, and the
+// whole run to each destination is handed over with one SendBatch —
+// which the TCP fabric turns into one coalesced write. The outbox is
+// flushed at every point where the outside world can observe progress
+// (a waiter's done channel, a grant, the end of the batch), so no
+// message lingers while the loop parks.
 type loop struct {
 	c    *Cluster
 	id   network.NodeID
@@ -275,6 +286,24 @@ type loop struct {
 
 	sched    *serve.Scheduler
 	inflight *ticket // admitted into the state machine; nil when idle
+
+	// Egress outbox (loop goroutine only). perDest[to] accumulates the
+	// batch's messages for node to; touched lists the destinations in
+	// first-use order. inBatch gates the buffering: sends outside batch
+	// processing (an Attach that announces itself, say) go straight to
+	// the transport.
+	inBatch bool
+	perDest [][]network.Message
+	touched []network.NodeID
+}
+
+// mbItem is one mailbox entry. Envelopes — the hot path: every protocol
+// message is one — ride unboxed (cmd nil); control commands box into
+// cmd. This keeps a delivered message from costing an interface
+// allocation per hop.
+type mbItem struct {
+	env envelope
+	cmd any
 }
 
 // mailbox is the loop's unbounded multi-producer queue. The consumer
@@ -285,12 +314,12 @@ type loop struct {
 type mailbox struct {
 	mu       sync.Mutex
 	nonEmpty sync.Cond // 1-to-1 with the consumer; signaled on empty→non-empty
-	queue    []any
+	queue    []mbItem
 	closed   bool
 }
 
-// put enqueues v, reporting false once the mailbox is closed.
-func (mb *mailbox) put(v any) bool {
+// put enqueues an item, reporting false once the mailbox is closed.
+func (mb *mailbox) put(v mbItem) bool {
 	mb.mu.Lock()
 	if mb.closed {
 		mb.mu.Unlock()
@@ -308,7 +337,7 @@ func (mb *mailbox) put(v any) bool {
 // takeAll blocks until items are queued or the mailbox closes, then
 // takes the whole queue in one swap, leaving spare (reset) behind as
 // the next accumulation buffer. ok is false once closed and drained.
-func (mb *mailbox) takeAll(spare []any) (batch []any, ok bool) {
+func (mb *mailbox) takeAll(spare []mbItem) (batch []mbItem, ok bool) {
 	mb.mu.Lock()
 	for len(mb.queue) == 0 && !mb.closed {
 		mb.nonEmpty.Wait()
@@ -378,9 +407,16 @@ func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
 	return l
 }
 
-// post enqueues an item, reporting false once the loop is stopping.
+// postEnv enqueues a delivered message, reporting false once the loop
+// is stopping.
+func (l *loop) postEnv(e envelope) bool {
+	return l.mb.put(mbItem{env: e})
+}
+
+// post enqueues a control command, reporting false once the loop is
+// stopping.
 func (l *loop) post(v any) bool {
-	return l.mb.put(v)
+	return l.mb.put(mbItem{cmd: v})
 }
 
 func (l *loop) stop() {
@@ -389,37 +425,47 @@ func (l *loop) stop() {
 
 // run is the site's event loop goroutine. It drains the mailbox a
 // batch at a time: every message that queued up while the previous
-// batch was being processed is handled under a single wakeup. When the
-// mailbox closes it fails every queued and in-flight ticket with
-// ErrClosed, so no Acquire outlives the cluster.
+// batch was being processed is handled under a single wakeup, and the
+// sends it provokes leave as per-destination batches. When the mailbox
+// closes it fails every queued and in-flight ticket with ErrClosed, so
+// no Acquire outlives the cluster.
 func (l *loop) run() {
-	var spare []any
+	var spare []mbItem
 	for {
 		batch, ok := l.mb.takeAll(spare)
 		if !ok {
 			break
 		}
-		for i, v := range batch {
-			batch[i] = nil // drop the reference as soon as it is handled
-			switch x := v.(type) {
-			case envelope:
-				l.node.Deliver(x.from, x.msg)
+		l.inBatch = true
+		for i := range batch {
+			v := batch[i]
+			batch[i] = mbItem{} // drop references as soon as handled
+			if v.cmd == nil {
+				l.node.Deliver(v.env.from, v.env.msg)
+				continue
+			}
+			switch x := v.cmd.(type) {
 			case cmdSubmit:
 				l.sched.Push(&x.t.item, l.c.now())
 				l.maybeAdmit()
 			case cmdCancel:
 				l.cancel(x.t)
+				l.flushOutbox() // the waiter may observe state; sends first
 				close(x.done)
 			case cmdRelease:
 				l.release(x.t)
+				l.flushOutbox()
 				close(x.done)
 			case cmdReap:
 				l.release(x.t)
 			case cmdInspect:
+				l.flushOutbox() // quiesce egress before the snapshot
 				x.fn(l.node)
 				close(x.done)
 			}
 		}
+		l.inBatch = false
+		l.flushOutbox()
 		spare = batch
 	}
 	// Shutdown: nothing more will be delivered. Fail the queue, then
@@ -431,6 +477,52 @@ func (l *loop) run() {
 		l.inflight = nil
 		t.abort(ErrClosed)
 	}
+}
+
+// send queues m for to: buffered into the outbox while a batch is
+// being processed, straight to the transport otherwise.
+func (l *loop) send(to network.NodeID, m network.Message) {
+	if !l.inBatch {
+		l.c.tr.Send(l.id, to, m)
+		return
+	}
+	if l.perDest == nil {
+		l.perDest = make([][]network.Message, l.c.cfg.Nodes)
+	}
+	if len(l.perDest[to]) == 0 {
+		l.touched = append(l.touched, to)
+	}
+	l.perDest[to] = append(l.perDest[to], m)
+}
+
+// flushOutbox hands each destination's accumulated run to the
+// transport in one call. Messages to one destination keep their send
+// order (the FIFO the protocols rely on); order across destinations is
+// not a transport promise to begin with.
+func (l *loop) flushOutbox() {
+	if len(l.touched) == 0 {
+		return
+	}
+	for _, to := range l.touched {
+		msgs := l.perDest[to]
+		switch {
+		case len(msgs) == 1:
+			l.c.tr.Send(l.id, to, msgs[0])
+		case l.c.bs != nil:
+			l.c.bs.SendBatch(l.id, to, msgs)
+		default:
+			for _, m := range msgs {
+				l.c.tr.Send(l.id, to, m)
+			}
+		}
+		// Reset the run but keep its capacity; drop message references
+		// so a recycled slot cannot pin dead payloads.
+		for i := range msgs {
+			msgs[i] = nil
+		}
+		l.perDest[to] = msgs[:0]
+	}
+	l.touched = l.touched[:0]
 }
 
 // maybeAdmit feeds the scheduler's next pick into the protocol when
@@ -492,6 +584,9 @@ func (l *loop) onGranted() {
 		l.post(cmdReap{t: t})
 		return
 	}
+	// The waiter wakes the moment this closes; everything the grant's
+	// activation already sent must be on its way first.
+	l.flushOutbox()
 	close(t.granted)
 }
 
@@ -511,5 +606,5 @@ func (e *liveEnv) Now() sim.Time { return e.c.now() }
 func (e *liveEnv) Granted() { e.l.onGranted() }
 
 func (e *liveEnv) Send(to network.NodeID, m network.Message) {
-	e.c.tr.Send(e.l.id, to, m)
+	e.l.send(to, m)
 }

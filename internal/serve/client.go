@@ -1,8 +1,8 @@
 package serve
 
 import (
-	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -12,18 +12,26 @@ import (
 	"mralloc/internal/wire"
 )
 
+// ErrOverloaded reports a denial with DenyOverloaded: the daemon's
+// admission queue for the chosen node is at its configured bound.
+// Callers detect it with errors.Is and may retry later or target
+// another node/daemon.
+var ErrOverloaded = errors.New("serve: daemon overloaded")
+
 // Client speaks the client wire protocol to a daemon's client port:
 // an external process's handle onto a running cluster. One connection
 // multiplexes any number of concurrent Acquires; each is a session on
 // the daemon side, admission-scheduled against everyone else's.
 //
+// Requests leave through a coalescing writer, so a burst of Acquires
+// from many goroutines shares write syscalls, and responses are read
+// through the batch-aware frame reader — the client accepts the
+// daemon's coalesced grant/deny fan-outs transparently.
+//
 // Methods are safe for concurrent use.
 type Client struct {
-	c net.Conn
-
-	wmu  sync.Mutex // serializes request frames
-	wbuf []byte     // encoded payload scratch
-	fbuf []byte     // framed payload scratch
+	c  net.Conn
+	co *wire.Coalescer // request egress
 
 	mu      sync.Mutex
 	next    uint64
@@ -39,6 +47,7 @@ type clientPending struct {
 type clientResult struct {
 	granted bool
 	reason  string
+	code    DenyCode
 }
 
 // Dial connects to a daemon's client port.
@@ -52,6 +61,9 @@ func Dial(addr string) (*Client, error) {
 		pending: make(map[uint64]*clientPending),
 		closed:  make(chan struct{}),
 	}
+	c.co = wire.NewCoalescer(nc, 0, func(err error) {
+		c.fail(fmt.Errorf("serve: write: %w", err))
+	})
 	go c.readLoop()
 	return c, nil
 }
@@ -61,6 +73,21 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error {
 	c.fail(fmt.Errorf("serve: client closed"))
 	return nil
+}
+
+// WireStats snapshots the egress counters of the client's coalescing
+// writer (writes, frames, batch envelopes, bytes).
+func (c *Client) WireStats() wire.CoalescerStats { return c.co.Stats() }
+
+// SetBatching toggles request coalescing (on by default). Benchmarks
+// turn it off to measure the pre-batching wire behavior; production
+// has no reason to.
+func (c *Client) SetBatching(on bool) {
+	if on {
+		c.co.SetMaxFrames(0)
+	} else {
+		c.co.SetMaxFrames(1)
+	}
 }
 
 // AnyNode targets no node in particular: the daemon picks one of its
@@ -79,7 +106,9 @@ func (c *Client) Acquire(ctx context.Context, node int, resources ...int) (func(
 
 // AcquireWith is Acquire with explicit options. A non-zero Deadline is
 // shipped as a relative duration (client and daemon clocks need not
-// agree) and feeds the daemon's deadline-aware admission policies.
+// agree) and feeds the daemon's deadline-aware admission policies. A
+// denial for backpressure (the daemon's admission queue is full)
+// satisfies errors.Is(err, ErrOverloaded).
 func (c *Client) AcquireWith(ctx context.Context, node int, opts AcquireOpts) (func(), error) {
 	if node != AnyNode && node < 0 {
 		return nil, fmt.Errorf("serve: bad node %d", node)
@@ -125,6 +154,9 @@ func (c *Client) AcquireWith(ctx context.Context, node int, opts AcquireOpts) (f
 	select {
 	case res := <-p.ch:
 		if !res.granted {
+			if res.code == DenyOverloaded {
+				return nil, fmt.Errorf("serve: denied: %s: %w", res.reason, ErrOverloaded)
+			}
 			return nil, fmt.Errorf("serve: denied: %s", res.reason)
 		}
 		var once sync.Once
@@ -151,9 +183,9 @@ func (c *Client) AcquireWith(ctx context.Context, node int, opts AcquireOpts) (f
 }
 
 func (c *Client) readLoop() {
-	br := bufio.NewReader(c.c)
+	fr := wire.NewFrameReader(c.c, maxClientFrame)
 	for {
-		frame, err := wire.ReadFrame(br, maxClientFrame)
+		frame, err := fr.Next()
 		if err != nil {
 			c.fail(fmt.Errorf("serve: connection lost: %w", err))
 			return
@@ -167,7 +199,7 @@ func (c *Client) readLoop() {
 		case ClientGrant:
 			c.dispatch(x.Req, clientResult{granted: true})
 		case ClientDeny:
-			c.dispatch(x.Req, clientResult{reason: x.Reason})
+			c.dispatch(x.Req, clientResult{reason: x.Reason, code: x.Code})
 		default:
 			c.fail(fmt.Errorf("serve: unexpected %s from daemon", m.Kind()))
 			return
@@ -204,20 +236,30 @@ func (c *Client) fail(err error) {
 	c.mu.Unlock()
 	close(c.closed)
 	c.c.Close()
+	// Join the coalescer's flusher from a fresh goroutine: fail may be
+	// running on that very flusher (write-error callback), and Close
+	// blocks until it exits. With the socket closed it drains fast.
+	go c.co.Close()
 }
 
-// send writes one request frame.
+// send queues one request frame on the coalescing writer.
 func (c *Client) send(m network.Message) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	payload, err := wire.Append(c.wbuf[:0], m)
+	buf := wire.GetFrame(64)
+	payload, err := wire.Append(buf, m)
 	if err != nil {
+		wire.ReleaseFrame(buf)
 		return err
 	}
-	c.wbuf = payload
-	c.fbuf = wire.AppendFrame(c.fbuf[:0], payload)
-	if _, err := c.c.Write(c.fbuf); err != nil {
-		return fmt.Errorf("serve: write: %w", err)
+	ok := c.co.Append(payload)
+	wire.ReleaseFrame(payload)
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("serve: connection closed")
+		}
+		return err
 	}
 	return nil
 }

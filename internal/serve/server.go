@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"net"
@@ -13,10 +12,15 @@ import (
 	"mralloc/internal/wire"
 )
 
-// maxClientFrame bounds one client-port frame. Client messages are
-// tiny (an acquire names a few resources); the cap only keeps a
-// corrupt or hostile length prefix from demanding gigabytes.
+// maxClientFrame bounds one client-port frame or batch envelope.
+// Client messages are tiny (an acquire names a few resources); the cap
+// only keeps a corrupt or hostile length prefix from demanding
+// gigabytes.
 const maxClientFrame = 1 << 20
+
+// closeFlushTimeout bounds how long a connection teardown waits for
+// its coalescing writer to drain queued responses.
+const closeFlushTimeout = 2 * time.Second
 
 // ServerConfig sizes a client-port server.
 type ServerConfig struct {
@@ -33,6 +37,17 @@ type ServerConfig struct {
 	// one per admitted client request and closes it when the request
 	// is released, denied or the connection drops.
 	Open func(node int) (BackendSession, error)
+	// MaxQueue, when positive, bounds how many of this port's client
+	// requests may be waiting (submitted but not yet granted) on one
+	// node at a time. A request that would exceed the bound is denied
+	// immediately with DenyOverloaded instead of queueing without
+	// limit — backpressure the client can act on. Zero means
+	// unbounded (the pre-backpressure behavior).
+	MaxQueue int
+	// DisableCoalesce pins every response write to a single frame
+	// (no batch envelopes), the pre-batching wire behavior. Benchmarks
+	// use it to measure the batching win; production has no reason to.
+	DisableCoalesce bool
 }
 
 // Server is one daemon's client port: it accepts connections from
@@ -40,13 +55,23 @@ type ServerConfig struct {
 // requests per connection, each one a session multiplexed onto the
 // hosted nodes through the admission scheduler. The peer protocol
 // (node to node) never touches this port.
+//
+// Responses (grants and denies) leave through a coalescing writer per
+// connection: a fan-out burst — many sessions granted in one scheduler
+// pass — becomes one batch envelope and one write instead of one
+// syscall per response. WireStats exposes the egress counters.
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
 
 	rr atomic.Uint64 // round-robin cursor over cfg.Local
 
-	sessions atomic.Int64 // in-flight client requests, for introspection
+	sessions atomic.Int64   // in-flight client requests, for introspection
+	queued   []atomic.Int64 // per-node not-yet-granted requests (MaxQueue)
+
+	connsMu   sync.Mutex
+	conns     map[*conn]bool
+	wireAccum wire.CoalescerStats // egress of connections already gone
 
 	closeMu sync.Mutex
 	closed  chan struct{}
@@ -71,11 +96,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Open == nil {
 		return nil, fmt.Errorf("serve: nil Open")
 	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("serve: negative MaxQueue %d", cfg.MaxQueue)
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Listen, err)
 	}
-	s := &Server{cfg: cfg, ln: ln, closed: make(chan struct{})}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		queued: make([]atomic.Int64, cfg.Nodes),
+		conns:  make(map[*conn]bool),
+		closed: make(chan struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -87,6 +121,32 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Sessions reports how many client requests are currently in flight
 // (queued, admitted, or holding a grant).
 func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// QueueLen reports how many of this port's requests are waiting (not
+// yet granted) on node id — the quantity MaxQueue bounds.
+func (s *Server) QueueLen(node int) int64 {
+	if node < 0 || node >= len(s.queued) {
+		return 0
+	}
+	return s.queued[node].Load()
+}
+
+// WireStats aggregates the egress counters of every client
+// connection: writes, flushes, frames, batch envelopes, bytes, and
+// the flush-size histogram.
+func (s *Server) WireStats() wire.CoalescerStats {
+	s.connsMu.Lock()
+	total := s.wireAccum
+	conns := make([]*conn, 0, len(s.conns))
+	for cn := range s.conns {
+		conns = append(conns, cn)
+	}
+	s.connsMu.Unlock()
+	for _, cn := range conns {
+		total.Add(cn.co.Stats())
+	}
+	return total
+}
 
 // Close stops the client port: the listener closes, every connection
 // drops, and every in-flight request is withdrawn or released exactly
@@ -130,11 +190,9 @@ type connReq struct {
 
 // conn is one client connection.
 type conn struct {
-	s    *Server
-	c    net.Conn
-	wmu  sync.Mutex // serializes response frames
-	wbuf []byte     // encoded payload scratch
-	fbuf []byte     // framed payload scratch
+	s  *Server
+	c  net.Conn
+	co *wire.Coalescer // response egress
 
 	mu   sync.Mutex
 	reqs map[uint64]*connReq
@@ -144,6 +202,16 @@ type conn struct {
 func (s *Server) serve(nc net.Conn) {
 	defer s.wg.Done()
 	cn := &conn{s: s, c: nc, reqs: make(map[uint64]*connReq)}
+	maxFrames := 0
+	if s.cfg.DisableCoalesce {
+		maxFrames = 1
+	}
+	// A write error marks the connection dead; the read loop notices
+	// and unwinds.
+	cn.co = wire.NewCoalescer(nc, maxFrames, func(error) { nc.Close() })
+	s.connsMu.Lock()
+	s.conns[cn] = true
+	s.connsMu.Unlock()
 	done := make(chan struct{})
 	defer close(done)
 	go func() { // unblock the pending Read when the server closes
@@ -170,13 +238,22 @@ func (s *Server) serve(nc net.Conn) {
 	}
 	cn.mu.Unlock()
 	cn.wg.Wait()
+	// Flush whatever responses are still queued (bounded — the client
+	// may be gone), fold the egress counters into the server total,
+	// and drop the socket.
+	nc.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	cn.co.Close()
+	s.connsMu.Lock()
+	delete(s.conns, cn)
+	s.wireAccum.Add(cn.co.Stats())
+	s.connsMu.Unlock()
 	nc.Close()
 }
 
 func (cn *conn) readLoop() {
-	br := bufio.NewReader(cn.c)
+	fr := wire.NewFrameReader(cn.c, maxClientFrame)
 	for {
-		frame, err := wire.ReadFrame(br, maxClientFrame)
+		frame, err := fr.Next()
 		if err != nil {
 			return
 		}
@@ -226,6 +303,23 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 		deny("node %d is not hosted by this daemon", node)
 		return true
 	}
+	// Backpressure: refuse rather than queue without bound. Increment
+	// first so concurrent arrivals cannot slip past the limit together.
+	if max := cn.s.cfg.MaxQueue; max > 0 {
+		if cn.s.queued[node].Add(1) > int64(max) {
+			cn.s.queued[node].Add(-1)
+			cn.send(ClientDeny{
+				Req:    x.Req,
+				Reason: fmt.Sprintf("node %d admission queue full (max %d)", node, max),
+				Code:   DenyOverloaded,
+			})
+			return true
+		}
+	} else {
+		cn.s.queued[node].Add(1)
+	}
+	unqueue := func() { cn.s.queued[node].Add(-1) }
+
 	var opts AcquireOpts
 	opts.Resources = resources
 	if x.DeadlineMS > 0 {
@@ -234,6 +328,7 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 
 	sess, err := cn.s.cfg.Open(node)
 	if err != nil {
+		unqueue()
 		deny("%v", err)
 		return true
 	}
@@ -242,12 +337,14 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 	cn.mu.Lock()
 	if cn.reqs == nil {
 		cn.mu.Unlock()
+		unqueue()
 		cancel()
 		sess.Close()
 		return false // connection already torn down
 	}
 	if _, dup := cn.reqs[x.Req]; dup {
 		cn.mu.Unlock()
+		unqueue()
 		cancel()
 		sess.Close()
 		return false // id reuse while in flight: unrecoverable ambiguity
@@ -260,6 +357,7 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 	go func() {
 		defer cn.wg.Done()
 		release, err := sess.Acquire(ctx, opts)
+		unqueue() // granted or failed: either way no longer waiting
 		cn.mu.Lock()
 		if err != nil {
 			withdrawn := r.withdrawn
@@ -310,20 +408,15 @@ func (cn *conn) handleRelease(req uint64) {
 	cn.mu.Unlock()
 }
 
-// send writes one response frame. Write errors just mark the
-// connection dead — the read loop notices and unwinds.
+// send queues one response frame on the connection's coalescing
+// writer; concurrent grant fan-outs coalesce into batch envelopes.
 func (cn *conn) send(m network.Message) {
-	cn.wmu.Lock()
-	defer cn.wmu.Unlock()
-	payload, err := wire.Append(cn.wbuf[:0], m)
+	payload, err := wire.Append(wire.GetFrame(64), m)
 	if err != nil {
 		panic(fmt.Sprintf("serve: encoding own message: %v", err))
 	}
-	cn.wbuf = payload
-	cn.fbuf = wire.AppendFrame(cn.fbuf[:0], payload)
-	if _, err := cn.c.Write(cn.fbuf); err != nil {
-		cn.c.Close()
-	}
+	cn.co.Append(payload)
+	wire.ReleaseFrame(payload)
 }
 
 func (s *Server) hostsLocally(node int) bool {

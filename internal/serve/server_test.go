@@ -1,7 +1,7 @@
 package serve_test
 
 import (
-	"bufio"
+	"errors"
 	"net"
 
 	"context"
@@ -299,6 +299,79 @@ func TestClientProtocolStress(t *testing.T) {
 	}
 }
 
+// TestMaxQueueDeniesWithOverloaded: once a node's waiting requests hit
+// the MaxQueue bound, further acquires must be denied immediately with
+// the distinct overload code (errors.Is ErrOverloaded on the client),
+// and the bound must lift again as the queue drains.
+func TestMaxQueueDeniesWithOverloaded(t *testing.T) {
+	const maxQueue = 2
+	c, err := live.New(live.Config{Nodes: 1, Resources: 1}, core.NewFactory(core.WithLoan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Listen: "127.0.0.1:0", Nodes: 1, Resources: 1, Local: []int{0},
+		MaxQueue: maxQueue,
+		Open:     func(node int) (serve.BackendSession, error) { return c.NewSession(node) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Hold the only resource so everything behind it queues.
+	release, err := cl.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the admission queue to the bound.
+	results := make(chan error, maxQueue)
+	for i := 0; i < maxQueue; i++ {
+		go func() {
+			rel, err := cl.Acquire(context.Background(), 0, 0)
+			if err == nil {
+				rel()
+			}
+			results <- err
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.QueueLen(0) < maxQueue {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d/%d", srv.QueueLen(0), maxQueue)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One more must bounce with the overload code, not queue.
+	if _, err := cl.Acquire(context.Background(), 0, 0); !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("over-limit acquire: %v, want ErrOverloaded", err)
+	}
+	// Drain: the held grant releases, the queued pair completes, and
+	// the bound lifts for new work.
+	release()
+	for i := 0; i < maxQueue; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("queued acquire failed: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("queued acquire never completed")
+		}
+	}
+	rel, err := cl.Acquire(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatalf("acquire after drain: %v", err)
+	}
+	rel()
+}
+
 // TestServerValidation: nonsense configurations must be rejected.
 func TestServerValidation(t *testing.T) {
 	open := func(int) (serve.BackendSession, error) { return nil, fmt.Errorf("unused") }
@@ -337,9 +410,10 @@ func TestDuplicateRequestIDKillsConnection(t *testing.T) {
 		}
 	}
 	sendRaw(serve.ClientAcquire{Req: 7, Node: 0, Resources: []int64{0}})
-	// Wait for the grant so request 7 holds resource 0.
-	br := bufio.NewReader(nc)
-	frame, err := wire.ReadFrame(br, 1<<20)
+	// Wait for the grant so request 7 holds resource 0. The server may
+	// coalesce responses, so read through the batch-aware reader.
+	fr := wire.NewFrameReader(nc, 1<<20)
+	frame, err := fr.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +425,7 @@ func TestDuplicateRequestIDKillsConnection(t *testing.T) {
 	// Reuse the id: the connection must die...
 	sendRaw(serve.ClientAcquire{Req: 7, Node: 0, Resources: []int64{1}})
 	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if _, err := wire.ReadFrame(br, 1<<20); err == nil {
+	if _, err := fr.Next(); err == nil {
 		t.Fatal("connection survived a duplicate request id")
 	}
 	// ...and the teardown must release the grant it held.

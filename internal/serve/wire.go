@@ -66,12 +66,30 @@ type ClientRelease struct {
 // Kind implements network.Message.
 func (ClientRelease) Kind() string { return "Client.Release" }
 
+// DenyCode classifies a denial so clients can react programmatically
+// instead of parsing the human-readable reason.
+type DenyCode uint8
+
+const (
+	// DenyGeneric covers bad arguments, backend errors, and shutdown.
+	DenyGeneric DenyCode = iota
+	// DenyOverloaded reports backpressure: the target node's admission
+	// queue is at its configured bound (ServerConfig.MaxQueue) and the
+	// daemon refuses new work rather than queueing without limit.
+	// Clients see it as serve.ErrOverloaded and may retry elsewhere or
+	// later.
+	DenyOverloaded
+
+	denyCodeEnd // one past the last valid code
+)
+
 // ClientDeny tells the client request Req will never be granted, with
-// a human-readable reason (bad arguments, cluster shutting down,
-// withdrawn).
+// a machine-readable code and a human-readable reason (bad arguments,
+// overload, cluster shutting down, withdrawn).
 type ClientDeny struct {
 	Req    uint64
 	Reason string
+	Code   DenyCode
 }
 
 // Kind implements network.Message.
@@ -116,9 +134,16 @@ func init() {
 			x := m.(ClientDeny)
 			e.Uvarint(x.Req)
 			e.String(x.Reason)
+			e.Uvarint(uint64(x.Code))
 		},
 		func(d *wire.Dec) network.Message {
-			return ClientDeny{Req: d.Uvarint(), Reason: d.String()}
+			x := ClientDeny{Req: d.Uvarint(), Reason: d.String()}
+			code := d.Uvarint()
+			if code >= uint64(denyCodeEnd) {
+				d.Fail("unknown deny code %d", code)
+			}
+			x.Code = DenyCode(code)
+			return x
 		})
 
 	wire.RegisterSamples(
@@ -127,6 +152,7 @@ func init() {
 		ClientGrant{Req: 1},
 		ClientRelease{Req: 1},
 		ClientDeny{Req: 9, Reason: "no resource 99"},
+		ClientDeny{Req: 4, Reason: "node 1 admission queue full", Code: DenyOverloaded},
 		ClientDeny{},
 	)
 }

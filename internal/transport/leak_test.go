@@ -1,0 +1,102 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"mralloc/internal/leakcheck"
+	"mralloc/internal/network"
+	"mralloc/internal/transport"
+	"mralloc/internal/transport/transporttest"
+)
+
+// The coalesced egress puts a flusher goroutine behind every dialed
+// connection; these tests pin the Close contract — no flusher (or
+// accept/serve/forwarder goroutine) outlives its fabric, whichever
+// state the connection is in when Close runs.
+
+func TestTCPCloseLeaksNoGoroutines(t *testing.T) {
+	check := leakcheck.Check(t)
+	eps := tcpFactory(t, 3)
+	done := make(chan struct{}, 64)
+	for i := 0; i < 3; i++ {
+		id := network.NodeID(i)
+		eps[i].Bind(id, func(network.NodeID, network.Message) { done <- struct{}{} })
+	}
+	// Traffic on several pairs: dials conns, starts flushers both ways.
+	want := 0
+	for from := 0; from < 3; from++ {
+		for to := 0; to < 3; to++ {
+			if from == to {
+				continue
+			}
+			want++
+			eps[from].Send(network.NodeID(from), network.NodeID(to),
+				transporttest.Msg{K: transporttest.KindA, From: network.NodeID(from), Seq: 1})
+		}
+	}
+	for i := 0; i < want; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	closeAll(t, eps)
+	check()
+}
+
+// TestTCPCloseMidTrafficLeaksNoGoroutines closes while senders still
+// queue frames: flushers must drain-or-abandon and exit either way.
+func TestTCPCloseMidTrafficLeaksNoGoroutines(t *testing.T) {
+	check := leakcheck.Check(t)
+	eps := tcpFactory(t, 2)
+	eps[1].Bind(1, func(network.NodeID, network.Message) {})
+	eps[0].Bind(0, func(network.NodeID, network.Message) {})
+	stop := make(chan struct{})
+	sent := make(chan struct{})
+	go func() {
+		defer close(sent)
+		var seq int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			eps[0].Send(0, 1, transporttest.Msg{K: transporttest.KindA, From: 0, Seq: seq})
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let a backlog form
+	closeAll(t, eps)
+	close(stop)
+	<-sent
+	check()
+}
+
+func TestMemLatencyCloseLeaksNoGoroutines(t *testing.T) {
+	check := leakcheck.Check(t)
+	m := transport.NewMem(4, 100*time.Microsecond)
+	got := make(chan struct{}, 64)
+	for i := 0; i < 4; i++ {
+		m.Bind(network.NodeID(i), func(network.NodeID, network.Message) { got <- struct{}{} })
+	}
+	msgs := []network.Message{
+		transporttest.Msg{K: transporttest.KindA, From: 0, Seq: 1},
+		transporttest.Msg{K: transporttest.KindB, From: 0, Seq: 2},
+	}
+	m.SendBatch(0, 1, msgs) // starts the 0→1 forwarder
+	m.Send(0, 2, transporttest.Msg{K: transporttest.KindA, From: 0, Seq: 1})
+	for i := 0; i < 3; i++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}

@@ -15,6 +15,11 @@ import (
 // Transport interface; its zero-latency path is the production
 // in-process lock-manager configuration.
 //
+// Batches (SendBatch) are delivered as a unit: the whole run crosses
+// into the destination under one binder-lock acquisition — and, in
+// latency mode, under one delay — mirroring how the TCP fabric ships
+// a run as one envelope.
+//
 // A positive latency delays every delivery by that amount while
 // preserving FIFO per ordered pair: each (sender, destination) link
 // gets one forwarding queue drained by one goroutine, so equal
@@ -31,8 +36,16 @@ type Mem struct {
 	// links maps sender*n+destination to that link's delay queue
 	// (latency mode only, created lazily).
 	linkMu sync.Mutex
-	links  map[int]chan pendingMsg
+	links  map[int]chan linkItem
 	wg     sync.WaitGroup
+}
+
+// linkItem is one delay-queue entry: a single message (msgs nil) or a
+// batch shipped as a unit.
+type linkItem struct {
+	from network.NodeID
+	m    network.Message
+	msgs []network.Message
 }
 
 // NewMem creates an in-process transport for n nodes. A positive
@@ -77,24 +90,54 @@ func (t *Mem) Send(from, to network.NodeID, m network.Message) {
 		return
 	}
 	select {
-	case t.link(from, to) <- pendingMsg{from, m}:
+	case t.link(from, to) <- linkItem{from: from, m: m}:
 	case <-t.closed:
 		// Closed mid-send: the link's forwarder may be gone; drop.
 	}
 }
 
+// SendBatch implements BatchSender: the run is delivered under one
+// binder-lock acquisition (zero latency) or one delay (latency mode —
+// the batch travels as a unit, like one envelope on a wire). The
+// caller's slice is copied in latency mode, never retained.
+func (t *Mem) SendBatch(from, to network.NodeID, msgs []network.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	for _, m := range msgs {
+		t.stats.count(m.Kind())
+	}
+	if t.latency <= 0 {
+		t.binder.deliverBatch(to, from, msgs)
+		return
+	}
+	cp := append([]network.Message(nil), msgs...)
+	select {
+	case t.link(from, to) <- linkItem{from: from, msgs: cp}:
+	case <-t.closed:
+	}
+}
+
 // link returns the delay queue of one ordered pair, starting its
 // forwarding goroutine on first use.
-func (t *Mem) link(from, to network.NodeID) chan pendingMsg {
+func (t *Mem) link(from, to network.NodeID) chan linkItem {
 	key := int(from)*t.n + int(to)
 	t.linkMu.Lock()
 	defer t.linkMu.Unlock()
 	if t.links == nil {
-		t.links = make(map[int]chan pendingMsg)
+		t.links = make(map[int]chan linkItem)
 	}
 	ch, ok := t.links[key]
 	if !ok {
-		ch = make(chan pendingMsg, 1024)
+		ch = make(chan linkItem, 1024)
 		t.links[key] = ch
 		t.wg.Add(1)
 		go func() {
@@ -103,7 +146,11 @@ func (t *Mem) link(from, to network.NodeID) chan pendingMsg {
 				select {
 				case p := <-ch:
 					time.Sleep(t.latency)
-					t.binder.deliver(to, p.from, p.m)
+					if p.msgs != nil {
+						t.binder.deliverBatch(to, p.from, p.msgs)
+					} else {
+						t.binder.deliver(to, p.from, p.m)
+					}
 				case <-t.closed:
 					return
 				}

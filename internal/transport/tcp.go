@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,20 +8,27 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mralloc/internal/network"
 	"mralloc/internal/wire"
 )
 
-// maxFrame bounds one wire frame. Real protocol messages are a few KB
-// at most (a token carries two N-sized stamp vectors); the cap only
-// keeps a corrupt or hostile length prefix from demanding gigabytes.
+// maxFrame bounds one wire frame or batch envelope. Real protocol
+// messages are a few KB at most (a token carries two N-sized stamp
+// vectors), and the coalescing writer splits envelopes at
+// wire.MaxEnvelope, well below this; the cap only keeps a corrupt or
+// hostile length prefix from demanding gigabytes.
 const maxFrame = 1 << 24
 
 // dialWindow is how long a Send retries dialing a peer that is not up
 // yet, which absorbs multi-process startup races on loopback.
 const dialWindow = 10 * time.Second
+
+// closeFlushTimeout bounds how long Close waits for each connection's
+// coalescing writer to drain frames queued before the close.
+const closeFlushTimeout = 2 * time.Second
 
 // TCP is the socket transport: one endpoint per process, hosting a
 // subset of the cluster's nodes, every message encoded by internal/wire
@@ -33,8 +39,17 @@ const dialWindow = 10 * time.Second
 // one per ordered pair of processes, and all traffic from this process
 // to one peer shares that connection — which is what makes FIFO per
 // ordered node pair hold: a sending node's messages enter the
-// connection in send order (the per-node event loop sends one at a
-// time), and the receiver drains frames sequentially.
+// connection in send order, and the receiver drains frames
+// sequentially.
+//
+// Egress is coalesced: a Send encodes its frame into a pooled buffer
+// and appends it to the connection's coalescing writer
+// (wire.Coalescer); a dedicated flusher per connection drains
+// everything queued since its last wakeup into one write — one frame
+// alone travels in the legacy single-frame format, a backlog travels
+// as one batch envelope. One write syscall then carries a whole burst
+// instead of one message, without adding latency when there is no
+// burst. WireStats exposes the write/frame/batch counters.
 //
 // Sends to a node hosted by this same endpoint short-circuit through
 // memory without touching the codec; per-kind stats count them all the
@@ -47,6 +62,11 @@ type TCP struct {
 	binder *binder
 	stats  kindStats
 
+	// noBatch, when set (SetBatching(false)), pins every coalescing
+	// writer to one frame per flush — the pre-batching wire behavior,
+	// kept selectable so benchmarks can pin the before/after.
+	noBatch atomic.Bool
+
 	peersMu sync.RWMutex
 	peers   []string // per node; nil until Connect
 
@@ -58,6 +78,9 @@ type TCP struct {
 	connMu sync.Mutex
 	conns  map[string]*outConn
 
+	wireMu    sync.Mutex
+	wireAccum wire.CoalescerStats // stats of retired connections
+
 	closeMu sync.Mutex
 	closed  chan struct{}
 	wg      sync.WaitGroup
@@ -66,13 +89,15 @@ type TCP struct {
 	firstErr error
 }
 
-// outConn is one dialed connection plus its write-side scratch.
+// outConn is one dialed connection plus its coalescing writer.
 type outConn struct {
-	mu     sync.Mutex
 	c      net.Conn
-	buf    []byte // encoded payload scratch
-	prefix []byte // framed (length-prefixed) payload scratch
-	broken bool
+	co     *wire.Coalescer
+	broken atomic.Bool // write failed; next Send to this peer redials
+	// retired marks the stats folded into wireAccum; guarded by the
+	// endpoint's wireMu so a snapshot can never miss or double-count a
+	// connection retiring concurrently.
+	retired bool
 }
 
 // ListenTCP opens an endpoint for a cluster of n nodes, hosting the
@@ -143,6 +168,13 @@ func (t *TCP) SetShape(nodes, resources int) {
 	t.shapeMu.Unlock()
 }
 
+// SetBatching toggles egress coalescing (on by default). Turning it
+// off pins every flush to a single frame — the pre-batching wire
+// behavior — so benchmarks can measure the batching win on identical
+// workloads. It only affects connections dialed after the call, so
+// set it before the first Send.
+func (t *TCP) SetBatching(on bool) { t.noBatch.Store(!on) }
+
 // Bind implements Transport.
 func (t *TCP) Bind(id network.NodeID, h Handler) {
 	if !t.local[id] {
@@ -166,41 +198,78 @@ func (t *TCP) Send(from, to network.NodeID, m network.Message) {
 		t.binder.deliver(to, from, m)
 		return
 	}
+	oc := t.connFor(to)
+	if oc == nil {
+		return // closed or unreachable; error recorded
+	}
+	buf := wire.GetFrame(64)
+	buf = binary.AppendVarint(buf, int64(from))
+	buf = binary.AppendVarint(buf, int64(to))
+	payload, err := wire.Append(buf, m)
+	if err != nil {
+		wire.ReleaseFrame(buf)
+		t.fail(err)
+		return
+	}
+	oc.co.Append(payload)
+	wire.ReleaseFrame(payload)
+}
+
+// SendBatch implements BatchSender: the run is encoded into the
+// connection's coalescing writer in one pass (one pooled scratch
+// buffer, no syscall until the flusher wakes), or delivered to a local
+// node under one binder lock.
+func (t *TCP) SendBatch(from, to network.NodeID, msgs []network.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	for _, m := range msgs {
+		t.stats.count(m.Kind())
+	}
+	if t.local[to] {
+		t.binder.deliverBatch(to, from, msgs)
+		return
+	}
+	oc := t.connFor(to)
+	if oc == nil {
+		return
+	}
+	buf := wire.GetFrame(256)
+	for _, m := range msgs {
+		buf = buf[:0]
+		buf = binary.AppendVarint(buf, int64(from))
+		buf = binary.AppendVarint(buf, int64(to))
+		payload, err := wire.Append(buf, m)
+		if err != nil {
+			t.fail(err)
+			break
+		}
+		buf = payload // keep the grown capacity for the next frame
+		if !oc.co.Append(payload) {
+			break // connection broke mid-batch; error recorded by onErr
+		}
+	}
+	wire.ReleaseFrame(buf)
+}
+
+// connFor resolves the outbound connection for a destination node.
+func (t *TCP) connFor(to network.NodeID) *outConn {
 	t.peersMu.RLock()
 	peers := t.peers
 	t.peersMu.RUnlock()
 	if peers == nil {
 		t.fail(fmt.Errorf("transport: Send before Connect"))
-		return
+		return nil
 	}
-	oc := t.conn(peers[to])
-	if oc == nil {
-		return // closed or unreachable; error recorded
-	}
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if oc.broken {
-		return
-	}
-	oc.buf = binary.AppendVarint(oc.buf[:0], int64(from))
-	oc.buf = binary.AppendVarint(oc.buf, int64(to))
-	payload, err := wire.Append(oc.buf, m)
-	if err != nil {
-		t.fail(err)
-		return
-	}
-	oc.buf = payload // keep the grown capacity for the next frame
-	frame := wire.AppendFrame(oc.prefix[:0], payload)
-	oc.prefix = frame
-	if _, err := oc.c.Write(frame); err != nil {
-		oc.broken = true // next Send to this peer redials
-		t.dropConn(oc)
-		select {
-		case <-t.closed:
-		default:
-			t.fail(fmt.Errorf("transport: write to %s: %w", oc.c.RemoteAddr(), err))
-		}
-	}
+	return t.conn(peers[to])
 }
 
 // conn returns the (dialed) connection to addr, dialing with retries
@@ -238,6 +307,13 @@ func (t *TCP) conn(addr string) *outConn {
 				return existing
 			}
 			oc = &outConn{c: c}
+			maxFrames := 0
+			if t.noBatch.Load() {
+				maxFrames = 1
+			}
+			oc.co = wire.NewCoalescer(c, maxFrames, func(err error) {
+				t.writeFailed(oc, err)
+			})
 			t.conns[addr] = oc
 			t.connMu.Unlock()
 			return oc
@@ -251,7 +327,23 @@ func (t *TCP) conn(addr string) *outConn {
 	}
 }
 
-// dropConn removes a broken connection so the next Send redials.
+// writeFailed runs on a connection's flusher goroutine when a write
+// errors: the connection is dropped so the next Send to that peer
+// redials, and the failure is recorded unless the transport is closing.
+func (t *TCP) writeFailed(oc *outConn, err error) {
+	if !oc.broken.CompareAndSwap(false, true) {
+		return
+	}
+	t.dropConn(oc)
+	select {
+	case <-t.closed:
+	default:
+		t.fail(fmt.Errorf("transport: write to %s: %w", oc.c.RemoteAddr(), err))
+	}
+}
+
+// dropConn removes a broken connection so the next Send redials, and
+// folds its egress counters into the endpoint total.
 func (t *TCP) dropConn(oc *outConn) {
 	oc.c.Close()
 	t.connMu.Lock()
@@ -261,6 +353,19 @@ func (t *TCP) dropConn(oc *outConn) {
 		}
 	}
 	t.connMu.Unlock()
+	t.retire(oc)
+}
+
+// retire folds a connection's egress stats into the endpoint
+// accumulator exactly once.
+func (t *TCP) retire(oc *outConn) {
+	st := oc.co.Stats()
+	t.wireMu.Lock()
+	if !oc.retired {
+		oc.retired = true
+		t.wireAccum.Add(st)
+	}
+	t.wireMu.Unlock()
 }
 
 func (t *TCP) acceptLoop() {
@@ -282,6 +387,8 @@ func (t *TCP) acceptLoop() {
 
 // serve drains one inbound connection, decoding frames sequentially —
 // which is exactly what preserves per-link FIFO on the receive side.
+// The frame reader is batch-aware: envelope boundaries are invisible,
+// frames arrive in stream order either way.
 func (t *TCP) serve(c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
@@ -294,14 +401,14 @@ func (t *TCP) serve(c net.Conn) {
 		case <-done: // the connection ended first; don't outlive it
 		}
 	}()
-	br := bufio.NewReader(c)
+	fr := wire.NewFrameReader(c, maxFrame)
 	for {
 		// Re-read the shape per frame: a peer may connect (and send)
 		// before this process's cluster has announced it via SetShape.
 		t.shapeMu.RLock()
 		resources := t.resources
 		t.shapeMu.RUnlock()
-		frame, err := wire.ReadFrame(br, maxFrame)
+		frame, err := fr.Next()
 		if err != nil {
 			t.connErr(c, err)
 			return
@@ -365,6 +472,31 @@ func (t *TCP) Err() error {
 // Stats implements Transport.
 func (t *TCP) Stats() map[string]int64 { return t.stats.snapshot() }
 
+// WireStats aggregates the egress counters of every connection this
+// endpoint has dialed: writes (the syscall proxy), flushes, frames,
+// batch envelopes, bytes, and the flush-size histogram. Holding
+// wireMu across the accumulator read and the live summation makes
+// each connection count exactly once — either in wireAccum (retired)
+// or live — even while retire runs concurrently, so successive
+// snapshots are monotonic.
+func (t *TCP) WireStats() wire.CoalescerStats {
+	t.connMu.Lock()
+	conns := make([]*outConn, 0, len(t.conns))
+	for _, oc := range t.conns {
+		conns = append(conns, oc)
+	}
+	t.connMu.Unlock()
+	t.wireMu.Lock()
+	defer t.wireMu.Unlock()
+	total := t.wireAccum
+	for _, oc := range conns {
+		if !oc.retired {
+			total.Add(oc.co.Stats())
+		}
+	}
+	return total
+}
+
 // Close implements Transport. It reports the first asynchronous
 // transport error observed during the endpoint's lifetime, if any.
 func (t *TCP) Close() error {
@@ -377,10 +509,21 @@ func (t *TCP) Close() error {
 		t.closeMu.Unlock()
 		t.ln.Close()
 		t.connMu.Lock()
-		for _, oc := range t.conns {
-			oc.c.Close()
+		conns := make([]*outConn, 0, len(t.conns))
+		for addr, oc := range t.conns {
+			conns = append(conns, oc)
+			delete(t.conns, addr)
 		}
 		t.connMu.Unlock()
+		for _, oc := range conns {
+			// Flush what was queued before the close, but bound the
+			// attempt: a stuck peer must not hang Close, and the write
+			// deadline unwinds a flusher blocked mid-Write.
+			oc.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+			oc.co.Close()
+			oc.c.Close()
+			t.retire(oc)
+		}
 		t.wg.Wait()
 	}
 	t.errMu.Lock()

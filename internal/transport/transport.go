@@ -66,6 +66,21 @@ type ShapeValidator interface {
 	SetShape(nodes, resources int)
 }
 
+// BatchSender is implemented by transports that can accept a run of
+// messages from one sender to one destination in a single call — the
+// live runtime's event loop drains its outbox into per-destination
+// batches and hands each over whole, so the fabric can deliver (Mem)
+// or encode and flush (TCP) the run as a unit instead of paying the
+// per-message overhead len(msgs) times.
+//
+// SendBatch is equivalent to calling Send for each message in order:
+// same FIFO, reliability, and per-kind accounting guarantees. The
+// transport must not retain msgs after the call returns (callers
+// recycle the slice).
+type BatchSender interface {
+	SendBatch(from, to network.NodeID, msgs []network.Message)
+}
+
 // kindStats is the shared per-kind message counter.
 type kindStats struct {
 	mu sync.Mutex
@@ -137,4 +152,22 @@ func (b *binder) deliver(id, from network.NodeID, m network.Message) {
 		return
 	}
 	s.h(from, m)
+}
+
+// deliverBatch hands a run of messages from one sender to id's handler
+// under a single slot-lock acquisition — the in-process half of batch
+// delivery.
+func (b *binder) deliverBatch(id, from network.NodeID, msgs []network.Message) {
+	s := &b.slots[id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.h == nil {
+		for _, m := range msgs {
+			s.pending = append(s.pending, pendingMsg{from, m})
+		}
+		return
+	}
+	for _, m := range msgs {
+		s.h(from, m)
+	}
 }

@@ -67,6 +67,7 @@ type Factory func(t *testing.T, n int) []transport.Transport
 // TestTransport runs the conformance suite against one implementation.
 func TestTransport(t *testing.T, factory Factory) {
 	t.Run("FIFONoLossNoDup", func(t *testing.T) { testFIFO(t, factory) })
+	t.Run("BatchFIFOAcrossBoundaries", func(t *testing.T) { testBatchFIFO(t, factory) })
 	t.Run("PerKindStats", func(t *testing.T) { testStats(t, factory) })
 	t.Run("BindBuffersEarlyTraffic", func(t *testing.T) { testLateBind(t, factory) })
 	t.Run("CleanClose", func(t *testing.T) { testClose(t, factory) })
@@ -195,6 +196,70 @@ func testFIFO(t *testing.T, factory Factory) {
 	}
 	wg.Wait()
 	rec.waitFor(n*(n-1)*msgs, 10*time.Second)
+}
+
+// testBatchFIFO interleaves single Sends with SendBatch runs of
+// varying sizes on every ordered pair: sequence numbers must still
+// arrive gapless and in order — batch boundaries (and however the
+// transport coalesces them on the wire) must be invisible to delivery
+// order. Transports without BatchSender are exercised through plain
+// Sends so the suite stays implementation-agnostic.
+func testBatchFIFO(t *testing.T, factory Factory) {
+	const n, rounds = 3, 60
+	eps := factory(t, n)
+	defer closeAll(t, eps)
+	rec := newRecorder(t, n)
+	for i := 0; i < n; i++ {
+		eps[i].Bind(network.NodeID(i), rec.handler(network.NodeID(i)))
+	}
+	total := 0
+	var wg sync.WaitGroup
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			from, to := network.NodeID(from), network.NodeID(to)
+			bs, _ := eps[from].(transport.BatchSender)
+			// Per pair: rounds of [1 single, batch of (r%5)+2, 1 single].
+			count := 0
+			for r := 0; r < rounds; r++ {
+				count += 1 + (r%5 + 2) + 1
+			}
+			total += count
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seq := int64(0)
+				next := func(k string) Msg {
+					seq++
+					return Msg{K: k, From: from, Seq: seq}
+				}
+				batch := make([]network.Message, 0, 8)
+				for r := 0; r < rounds; r++ {
+					eps[from].Send(from, to, next(KindA))
+					batch = batch[:0]
+					for i := 0; i < r%5+2; i++ {
+						k := KindA
+						if i%2 == 1 {
+							k = KindB
+						}
+						batch = append(batch, next(k))
+					}
+					if bs != nil {
+						bs.SendBatch(from, to, batch)
+					} else {
+						for _, m := range batch {
+							eps[from].Send(from, to, m)
+						}
+					}
+					eps[from].Send(from, to, next(KindB))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	rec.waitFor(total, 10*time.Second)
 }
 
 // testStats sends known per-kind counts and checks the aggregated

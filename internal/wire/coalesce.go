@@ -1,0 +1,291 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+	"sync"
+)
+
+// Coalescer turns a stream of per-message frames into batched writes:
+// senders append frames (cheap, never blocking on the network) and a
+// dedicated flusher goroutine drains everything queued since its last
+// wakeup into one write — a single frame when one message is pending,
+// a batch envelope when more are. Batching therefore costs no added
+// latency: it only kicks in exactly when the writer is already behind,
+// which is when the per-write cost matters.
+//
+// One Coalescer serves one connection. Senders may call Append
+// concurrently; frame order is append order, which is what preserves
+// FIFO per ordered node pair end to end. Close flushes what is queued
+// and waits for the flusher to exit — close the underlying writer
+// first if it may block forever.
+type Coalescer struct {
+	w io.Writer
+	// onErr, when non-nil, is called once (from the flusher goroutine,
+	// no Coalescer lock held) with the first write error.
+	onErr   func(error)
+	mu      sync.Mutex
+	nonIdle sync.Cond // signaled on empty→non-empty and on close
+	pending []byte    // queued frames, after a headerReserve prefix
+	marks   []int     // frame-end offsets into pending
+	closed  bool
+	err     error
+	// maxFrames, when positive, bounds how many frames one flush may
+	// write together; 1 disables batching entirely (the pre-batching
+	// wire behavior, kept measurable for before/after benchmarks).
+	// Guarded by mu; the flusher samples it per drain.
+	maxFrames int
+
+	// spare is the flusher's drained buffer handed back for reuse:
+	// appends and the in-flight write never share a buffer.
+	spareBuf   []byte
+	spareMarks []int
+
+	stats CoalescerStats // guarded by mu
+
+	done chan struct{} // closed when the flusher exits
+}
+
+// headerReserve prefixes the pending buffer with room for the largest
+// possible batch envelope header, so a flush can materialize the
+// header in place (right-aligned against the first frame) and issue
+// one contiguous write with no copying.
+const headerReserve = 1 + binary.MaxVarintLen64
+
+// CoalescerStats counts a coalescing writer's egress. Writes is the
+// syscall proxy the benchmarks compare: how many Write calls reached
+// the underlying connection.
+type CoalescerStats struct {
+	Writes  int64 // Write calls issued on the underlying writer
+	Flushes int64 // flush groups (each one frame or one batch envelope)
+	Batches int64 // flush groups that used a batch envelope (≥2 frames)
+	Frames  int64 // frames written
+	Bytes   int64 // bytes written, envelope headers included
+	// Hist buckets flush groups by frame count:
+	// 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64–127, ≥128.
+	Hist [8]int64
+}
+
+// histBucket maps a flush's frame count to its histogram bucket.
+func histBucket(frames int) int {
+	b := bits.Len(uint(frames)) - 1
+	if b > 7 {
+		b = 7
+	}
+	return b
+}
+
+// Add accumulates o into s.
+func (s *CoalescerStats) Add(o CoalescerStats) {
+	s.Writes += o.Writes
+	s.Flushes += o.Flushes
+	s.Batches += o.Batches
+	s.Frames += o.Frames
+	s.Bytes += o.Bytes
+	for i, v := range o.Hist {
+		s.Hist[i] += v
+	}
+}
+
+// HistString renders the non-empty histogram buckets, e.g.
+// "1:120 2-3:31 8-15:2".
+func (s CoalescerStats) HistString() string {
+	labels := [8]string{"1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+"}
+	var sb strings.Builder
+	for i, v := range s.Hist {
+		if v == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%d", labels[i], v)
+	}
+	return sb.String()
+}
+
+// NewCoalescer starts a coalescing writer over w. maxFrames bounds the
+// frames per flush (0 = unbounded, 1 = no batching); onErr may be nil.
+func NewCoalescer(w io.Writer, maxFrames int, onErr func(error)) *Coalescer {
+	c := &Coalescer{w: w, onErr: onErr, maxFrames: maxFrames, done: make(chan struct{})}
+	c.nonIdle.L = &c.mu
+	go c.flusher()
+	return c
+}
+
+// SetMaxFrames adjusts the per-flush frame bound (0 = unbounded, 1 =
+// no batching). It affects flushes after the call; frames already
+// queued flush under the new bound.
+func (c *Coalescer) SetMaxFrames(n int) {
+	c.mu.Lock()
+	c.maxFrames = n
+	c.mu.Unlock()
+}
+
+// Append queues one frame holding payload (the bytes are copied; the
+// caller may recycle payload immediately). It reports false once the
+// coalescer is closed or its connection has failed — the frame is then
+// dropped, like a Send on a closed transport.
+func (c *Coalescer) Append(payload []byte) bool {
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		c.mu.Unlock()
+		return false
+	}
+	if len(c.pending) < headerReserve {
+		c.pending = c.reserve(c.pending)
+	}
+	c.pending = AppendFrame(c.pending, payload)
+	c.marks = append(c.marks, len(c.pending))
+	if len(c.marks) == 1 {
+		// Only an empty→non-empty edge can find the flusher parked.
+		c.nonIdle.Signal()
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// reserve (re)establishes the envelope-header prefix on an empty buffer.
+func (c *Coalescer) reserve(buf []byte) []byte {
+	if cap(buf) < headerReserve {
+		return make([]byte, headerReserve, frameBufCap)
+	}
+	return buf[:headerReserve]
+}
+
+// Err reports the first write error, or nil.
+func (c *Coalescer) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats snapshots the egress counters.
+func (c *Coalescer) Stats() CoalescerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close flushes anything still queued, stops the flusher, and returns
+// the first write error, if any. Idempotent.
+func (c *Coalescer) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.nonIdle.Signal()
+	}
+	c.mu.Unlock()
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// flusher is the write-side goroutine: each wakeup takes the whole
+// queue in one swap and writes it out in as few writes as the limits
+// allow.
+func (c *Coalescer) flusher() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for len(c.marks) == 0 && !c.closed {
+			c.nonIdle.Wait()
+		}
+		if len(c.marks) == 0 { // closed and drained
+			c.mu.Unlock()
+			return
+		}
+		buf, marks := c.pending, c.marks
+		maxFrames := c.maxFrames
+		c.pending, c.marks = c.spareBuf, c.spareMarks
+		c.spareBuf, c.spareMarks = nil, nil
+		c.mu.Unlock()
+
+		stats, err := c.writeOut(buf, marks, maxFrames)
+
+		c.mu.Lock()
+		c.stats.Add(stats)
+		c.spareBuf, c.spareMarks = buf[:0], marks[:0]
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+		if err != nil {
+			if c.onErr != nil {
+				c.onErr(err)
+			}
+			return // the connection is broken; nothing more to write
+		}
+	}
+}
+
+// writeOut writes the drained queue: frames are grouped into flushes of
+// at most maxFrames frames and MaxEnvelope bytes, each flush one
+// single-frame write or one batch envelope.
+func (c *Coalescer) writeOut(buf []byte, marks []int, maxFrames int) (CoalescerStats, error) {
+	var st CoalescerStats
+	start, first := headerReserve, 0
+	for first < len(marks) {
+		// Grow the group while the limits allow.
+		last := first
+		for last+1 < len(marks) &&
+			(maxFrames <= 0 || last+1-first < maxFrames) &&
+			marks[last+1]-start <= MaxEnvelope {
+			last++
+		}
+		end := marks[last]
+		frames := last + 1 - first
+		var err error
+		if frames == 1 {
+			err = c.write(&st, nil, buf[start:end])
+		} else if start == headerReserve {
+			// First group: materialize the envelope header in the
+			// reserved prefix for one contiguous write.
+			h := start - uvarintLen(uint64(end-start)) - 1
+			buf[h] = 0
+			binary.PutUvarint(buf[h+1:], uint64(end-start))
+			err = c.write(&st, nil, buf[h:end])
+		} else {
+			var hdr [headerReserve]byte
+			n := binary.PutUvarint(hdr[1:], uint64(end-start))
+			err = c.write(&st, hdr[:1+n], buf[start:end])
+		}
+		st.Flushes++
+		st.Frames += int64(frames)
+		st.Hist[histBucket(frames)]++
+		if frames > 1 {
+			st.Batches++
+		}
+		if err != nil {
+			return st, err
+		}
+		start, first = end, last+1
+	}
+	return st, nil
+}
+
+// write pushes hdr (optional) then body to the writer, tolerating
+// partial writes explicitly: an io.Writer must error when it writes
+// short, but a flaky conn wrapper may not, and a framed stream cannot
+// afford to drop a suffix silently.
+func (c *Coalescer) write(st *CoalescerStats, hdr, body []byte) error {
+	for _, b := range [2][]byte{hdr, body} {
+		for len(b) > 0 {
+			n, err := c.w.Write(b)
+			st.Writes++
+			st.Bytes += int64(n)
+			b = b[n:]
+			if err != nil {
+				return err
+			}
+			if n == 0 && len(b) > 0 {
+				return io.ErrShortWrite // refuse to spin on a stuck writer
+			}
+		}
+	}
+	return nil
+}

@@ -25,6 +25,11 @@ func AppendFrame(dst, payload []byte) []byte {
 // ReadFrame reads one frame from br, rejecting lengths above max — a
 // corrupt or hostile prefix must not demand gigabytes. A clean
 // end-of-stream at a frame boundary surfaces as io.EOF.
+//
+// ReadFrame understands only the single-frame format and allocates per
+// frame; the connection loops all use FrameReader (batch.go), which
+// also accepts batch envelopes and reuses its buffer. This remains for
+// tools that want one frame with no reader state.
 func ReadFrame(br *bufio.Reader, max uint64) ([]byte, error) {
 	size, err := binary.ReadUvarint(br)
 	if err != nil {

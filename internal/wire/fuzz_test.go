@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"mralloc/internal/wire"
@@ -46,6 +47,53 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(b2, b3) {
 			t.Fatalf("encode∘decode not idempotent for %s:\n  b2=%x\n  b3=%x", m.Kind(), b2, b3)
+		}
+	})
+}
+
+// FuzzBatchStream: arbitrary bytes fed to the batch-aware FrameReader
+// must never panic and must terminate — every frame yielded before an
+// error (or clean EOF) must itself be decodable or not, without
+// crashing. Seeds cover single frames, batch envelopes of mixed kinds,
+// an empty batch, and a truncated envelope.
+func FuzzBatchStream(f *testing.F) {
+	var all []byte
+	var body []byte
+	for _, m := range wire.Samples() {
+		b, err := wire.Append(nil, m)
+		if err != nil {
+			f.Fatalf("encoding sample %s: %v", m.Kind(), err)
+		}
+		f.Add(wire.AppendFrame(nil, b)) // each kind as a single frame
+		body = wire.AppendFrame(body, b)
+		all = wire.AppendFrame(all, b)
+	}
+	batch := wire.AppendBatch(nil, body) // every kind in one envelope
+	f.Add(batch)
+	f.Add(all)                         // legacy stream of singles
+	f.Add(batch[:len(batch)/2])        // truncated envelope
+	f.Add([]byte{0, 0})                // empty batch
+	f.Add(wire.AppendBatch(all, body)) // singles then a batch
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr := wire.NewFrameReader(bytes.NewReader(b), 1<<16)
+		frames := 0
+		for {
+			frame, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				break
+			}
+			if len(frame) == 0 {
+				t.Fatal("FrameReader yielded an empty frame")
+			}
+			// Whatever the frame holds, decoding must not panic.
+			wire.Decode(frame)
+			frames++
+			if frames > len(b) {
+				t.Fatalf("more frames (%d) than input bytes (%d)", frames, len(b))
+			}
 		}
 	})
 }

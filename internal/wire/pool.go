@@ -1,0 +1,68 @@
+package wire
+
+import "sync"
+
+// Pooled encode buffers for the egress hot path. A sender that encodes
+// one frame per message used to allocate one buffer per message; with
+// the pool, a buffer is borrowed for the encode, its bytes are copied
+// into a connection's coalescing writer, and the buffer goes straight
+// back — the steady state allocates nothing.
+//
+// The free list is a plain mutex-guarded stack rather than a sync.Pool:
+// releasing into a sync.Pool boxes the slice header (one small
+// allocation per release, exactly what the pool exists to avoid), and
+// the GC may drop pooled buffers between bursts. Capacity is bounded so
+// a one-off giant frame cannot pin memory forever.
+
+const (
+	// frameBufCap is the capacity of a freshly made pooled buffer —
+	// comfortably above a typical protocol frame (a token with two
+	// N-sized stamp vectors at N=512 is ~4KB).
+	frameBufCap = 4096
+	// maxPooledCap bounds the capacity of a buffer the pool will keep.
+	maxPooledCap = 1 << 18
+	// maxPooledBufs bounds how many buffers the pool holds.
+	maxPooledBufs = 64
+)
+
+var framePool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// GetFrame returns an empty buffer with at least n bytes of capacity,
+// ready to append an encoded frame into. Release it with ReleaseFrame
+// once its bytes have been handed off (copied or written).
+func GetFrame(n int) []byte {
+	framePool.mu.Lock()
+	if k := len(framePool.free); k > 0 {
+		b := framePool.free[k-1]
+		framePool.free[k-1] = nil
+		framePool.free = framePool.free[:k-1]
+		framePool.mu.Unlock()
+		if cap(b) >= n {
+			return b[:0]
+		}
+		// Too small for this caller; let it go and size a fresh one.
+	} else {
+		framePool.mu.Unlock()
+	}
+	if n < frameBufCap {
+		n = frameBufCap
+	}
+	return make([]byte, 0, n)
+}
+
+// ReleaseFrame recycles a buffer obtained from GetFrame (any buffer
+// works — the pool only cares about capacity). The caller must not
+// touch b afterwards.
+func ReleaseFrame(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledCap {
+		return
+	}
+	framePool.mu.Lock()
+	if len(framePool.free) < maxPooledBufs {
+		framePool.free = append(framePool.free, b[:0])
+	}
+	framePool.mu.Unlock()
+}
