@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                  # full grid -> BENCH_2.json
+//	go run ./cmd/bench                  # full grid -> BENCH_3.json
 //	go run ./cmd/bench -out other.json
 //	go run ./cmd/bench -run sim/n32     # scenario name filter (substring)
+//	go run ./cmd/bench -run largeN      # just the payload-path tier
 //	go run ./cmd/bench -capture-baseline # print Go literal for baseline.go
 //
 // The scenario grid, seeds, and protocol metrics (msg/cs, grants,
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output report path")
+	out := flag.String("out", "BENCH_3.json", "output report path")
 	filter := flag.String("run", "", "only run scenarios whose name contains this substring")
 	capture := flag.Bool("capture-baseline", false, "print the measurements as a Go literal for baseline.go instead of writing the report")
 	flag.Parse()

@@ -68,6 +68,10 @@ type daemonConfig struct {
 	policyStr        string
 	maxQueue         int
 	pprofAddr        string
+	wireDelta        bool
+	wireWritev       bool
+	flushDelay       time.Duration
+	flushDelayMax    time.Duration
 }
 
 func main() {
@@ -83,6 +87,10 @@ func main() {
 	flag.StringVar(&cfg.policyStr, "policy", "fifo", "admission policy for multiplexed sessions: fifo, ssf, edf")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "deny client acquires with ErrOverloaded once a node has this many waiting (0 = unbounded)")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	flag.BoolVar(&cfg.wireDelta, "wire-delta", true, "delta-encode token state on peer connections; every daemon of the cluster must run a delta-aware build (pass =false to interoperate with pre-delta peers)")
+	flag.BoolVar(&cfg.wireWritev, "wire-writev", true, "vectored (writev) egress for batched peer frames")
+	flag.DurationVar(&cfg.flushDelay, "flush-delay", 0, "egress micro-delay before each peer flush, trading bounded latency for bigger batches (0 = flush on wakeup)")
+	flag.DurationVar(&cfg.flushDelayMax, "flush-delay-max", 0, "> flush-delay enables adaptive widening of the flush delay under high fan-in")
 	flag.DurationVar(&cfg.linger, "linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
 	flag.IntVar(&cfg.phi, "phi", 4, "maximum resources per request (workload mode)")
 	flag.DurationVar(&cfg.think, "think", time.Millisecond, "mean pause between requests (workload mode)")
@@ -178,6 +186,12 @@ func run(cfg daemonConfig) error {
 		Transport: tr,
 		Local:     local,
 		Policy:    policy,
+		Wire: &transport.WireOptions{
+			Delta:         cfg.wireDelta,
+			NoVectored:    !cfg.wireWritev,
+			FlushDelay:    cfg.flushDelay,
+			FlushDelayMax: cfg.flushDelayMax,
+		},
 	}, factory)
 	if err != nil {
 		return err

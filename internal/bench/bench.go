@@ -255,7 +255,19 @@ func MicroGrid() []Scenario {
 			}
 		}
 	}}
-	return []Scenario{engine, cancel, sample, set}
+	// wqueue.Insert is on the token hot path and its cost scales with
+	// queue depth; the 512-entry cell pins the binary-search insertion
+	// at the largeN regime the payload-path work targets.
+	wq := Scenario{Name: "micro/wqueue/insert512", Run: func(b *testing.B) {
+		qb := core.NewQueueBench(512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qb.Round()
+		}
+		b.ReportMetric(float64(qb.Ops()), "events_per_op")
+	}}
+	return []Scenario{engine, cancel, sample, set, wq}
 }
 
 // LiveGrid measures the goroutine runtime: end-to-end Acquire/Release
@@ -315,6 +327,7 @@ func Grid() []Scenario {
 	out = append(out, MicroGrid()...)
 	out = append(out, LiveGrid()...)
 	out = append(out, TCPLoopGrid()...)
+	out = append(out, LargeNGrid()...)
 	return out
 }
 

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestLargeNDeltaSmoke is the CI gate for the payload-path tier: it
+// runs the smallest largeN cell end to end (real sockets, delta
+// tokens, vectored egress) and fails if wire_bytes_per_op regresses
+// more than 10% against the committed BENCH_3.json, or if the report
+// schema drifted. Wire bytes per op is protocol traffic, not wall
+// clock, so it is stable enough across machines to gate on.
+func TestLargeNDeltaSmoke(t *testing.T) {
+	const cellName = "largeN/n128/delta"
+	var s Scenario
+	for _, c := range LargeNGrid() {
+		if c.Name == cellName {
+			s = c
+		}
+	}
+	if s.Run == nil {
+		t.Fatalf("no %s scenario in the grid", cellName)
+	}
+	r := Measure(s)
+	if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 {
+		t.Fatalf("no wall-clock measurement: %+v", r)
+	}
+	if r.WritesPerOp <= 0 || r.WireBytesPerOp <= 0 || r.MsgPerCS <= 0 {
+		t.Fatalf("wire-path metrics missing: %+v", r)
+	}
+
+	// Regression gate against the committed report.
+	data, err := os.ReadFile("../../BENCH_3.json")
+	if err != nil {
+		t.Fatalf("committed report missing: %v", err)
+	}
+	var committed Report
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatalf("committed report unreadable: %v", err)
+	}
+	if committed.Schema != Schema {
+		t.Fatalf("committed schema %q, code says %q (schema drift)", committed.Schema, Schema)
+	}
+	var ref *Result
+	tierRows := 0
+	for i, row := range committed.Current {
+		if strings.HasPrefix(row.Scenario, "largeN/") {
+			tierRows++
+		}
+		if row.Scenario == cellName {
+			ref = &committed.Current[i]
+		}
+	}
+	if tierRows < 6 {
+		t.Fatalf("committed report has %d largeN rows, want the full 2×3 twin grid", tierRows)
+	}
+	if ref == nil {
+		t.Fatalf("committed report has no %s row", cellName)
+	}
+	if ref.WireBytesPerOp <= 0 {
+		t.Fatalf("committed %s row has no wire_bytes_per_op", cellName)
+	}
+	if r.WireBytesPerOp > ref.WireBytesPerOp*1.10 {
+		t.Fatalf("wire_bytes_per_op regressed: measured %.1f vs committed %.1f (>10%%)",
+			r.WireBytesPerOp, ref.WireBytesPerOp)
+	}
+
+	// Schema drift gate: the measured row must round-trip with its
+	// wire-path keys intact under the frozen schema string.
+	rep := NewReport([]Result{r})
+	out, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(out, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["schema"] != Schema {
+		t.Fatalf("schema = %v, want %v", raw["schema"], Schema)
+	}
+	row := raw["current"].([]any)[0].(map[string]any)
+	for _, key := range []string{"scenario", "ns_per_op", "allocs_per_op",
+		"writes_per_op", "wire_bytes_per_op", "avg_batch_frames", "batch_hist", "msg_per_cs"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("report row missing %q (schema drift): %v", key, row)
+		}
+	}
+}
+
+// TestLargeNDeltaCutsBytes pins the tier's headline inside the test
+// suite at the small N (the N=512 ≥25% claim is pinned by the
+// committed BENCH_3.json twins): on identical workloads, the delta
+// twin must move fewer bytes per op than the nodelta twin.
+func TestLargeNDeltaCutsBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two benchmark cells in -short mode")
+	}
+	var delta, nodelta Scenario
+	for _, c := range LargeNGrid() {
+		switch c.Name {
+		case "largeN/n128/delta":
+			delta = c
+		case "largeN/n128/nodelta":
+			nodelta = c
+		}
+	}
+	d, nd := Measure(delta), Measure(nodelta)
+	if d.WireBytesPerOp <= 0 || nd.WireBytesPerOp <= 0 {
+		t.Fatalf("wire bytes missing: %+v / %+v", d, nd)
+	}
+	if d.WireBytesPerOp >= nd.WireBytesPerOp {
+		t.Fatalf("delta twin moved %.1f bytes/op vs nodelta %.1f — no saving",
+			d.WireBytesPerOp, nd.WireBytesPerOp)
+	}
+}

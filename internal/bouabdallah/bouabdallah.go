@@ -184,10 +184,30 @@ func (nd *Node) sendResource(to network.NodeID, r resource.ID) {
 }
 
 func (nd *Node) checkEnter() {
-	if nd.st == collecting && nd.want.SubsetOf(nd.holding) {
-		nd.st = inCS
-		nd.env.Granted()
+	if nd.st != collecting || !nd.want.SubsetOf(nd.holding) {
+		return
 	}
+	// A held token flagged mustYield is promised to an earlier
+	// registrant whose INQUIRE is still in flight: that site precedes
+	// us in the resource's chain, so the token is not ours to use this
+	// round — we yield it when the INQUIRE lands and re-acquire through
+	// the INQUIRE we sent at registration. Entering anyway would let
+	// the in-flight INQUIRE pull the token out from under a running
+	// critical section (two sites inside the CS on one resource). The
+	// inversion needs the direct INQUIRE to lose a race against a
+	// multi-hop control-token path, so only asymmetric link delays ever
+	// expose it — see TestMustYieldTokenNotUsableUntilYielded.
+	mustWait := false
+	nd.want.ForEach(func(r resource.ID) {
+		if nd.mustYield[r] {
+			mustWait = true
+		}
+	})
+	if mustWait {
+		return
+	}
+	nd.st = inCS
+	nd.env.Granted()
 }
 
 // Release implements alg.Node: forward every token with a deferred

@@ -36,7 +36,11 @@ func encReqBatch(e *wire.Enc, m network.Message) {
 
 func decReqBatch(d *wire.Dec) network.Message {
 	var b reqBatch
-	b.Visited = d.Nodes()
+	// A decoded batch is exclusively the receiver's; one slot of
+	// headroom lets the forwarding hop append itself to the visited
+	// set in place (see visitedAdd's aliasing rule).
+	b.Visited = d.NodesPad(1)
+	b.owned = true
 	n := d.Count()
 	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(request{}))) {
 		return b
@@ -107,6 +111,9 @@ func decRespBatch(d *wire.Dec) network.Message {
 	if d.Err() != nil || !d.Charge(n*int(unsafe.Sizeof(token{}))) {
 		return b
 	}
+	if st := decDeltaState(d); st != nil {
+		st.beginFrame() // each resource's token at most once per frame
+	}
 	if n > 0 {
 		b.Tokens = make([]*token, 0, n)
 		for i := 0; i < n; i++ {
@@ -120,7 +127,29 @@ func decRespBatch(d *wire.Dec) network.Message {
 	return b
 }
 
+// encToken puts one token on the wire. Off-stream (and on streams
+// without the token-delta control) it is the legacy snapshot layout;
+// on a delta-capable stream it dispatches to the stateful delta
+// encoder (delta.go), which ships a full snapshot the first time a
+// resource's token crosses the stream and field deltas afterwards.
 func encToken(e *wire.Enc, t *token) {
+	if st := encDeltaState(e); st != nil {
+		st.encode(e, t)
+		return
+	}
+	encTokenSnap(e, t)
+}
+
+func decToken(d *wire.Dec) *token {
+	if st := decDeltaState(d); st != nil {
+		return st.decode(d)
+	}
+	return decTokenSnap(d)
+}
+
+// encTokenSnap is the legacy full-snapshot token layout. Field order
+// is load-bearing: changing it is a wire break.
+func encTokenSnap(e *wire.Enc, t *token) {
 	e.Varint(int64(t.R))
 	e.Varint(t.Counter)
 	e.Int64s(t.LastReqC)
@@ -138,7 +167,7 @@ func encToken(e *wire.Enc, t *token) {
 	e.Node(t.Lender)
 }
 
-func decToken(d *wire.Dec) *token {
+func decTokenSnap(d *wire.Dec) *token {
 	t := &token{}
 	t.R = d.Res()
 	t.Counter = d.Varint()

@@ -313,9 +313,10 @@ func (nd *Node) Deliver(from network.NodeID, m network.Message) {
 	case reqBatch:
 		nd.onRequests(msg)
 		if len(nd.out.reqs) > 0 {
-			// visitedAdd copies; only pay for it when a request batch
-			// is actually being forwarded.
-			nd.flush(visitedAdd(msg.Visited, nd.self()))
+			// Only build the forwarded visited set when a request batch
+			// is actually being forwarded; an owned batch (wire-decoded,
+			// or single-destination in process) extends in place.
+			nd.flush(visitedAdd(msg.Visited, nd.self(), msg.owned))
 		} else {
 			nd.flush(nil)
 		}

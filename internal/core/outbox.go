@@ -59,9 +59,12 @@ func (o *outbox) destAdd(to network.NodeID) {
 
 // flush transmits everything buffered. visited applies to all request
 // messages of this activation (§4.2.1); it must already include the
-// sending site. Only the slices that ride the wire are allocated — the
-// grouping itself runs on reusable scratch, in the same
-// first-occurrence destination order the map-based version produced.
+// sending site, and flush takes ownership of it — the caller must not
+// retain or reuse the slice. When the requests go to exactly one
+// destination, that single batch inherits the exclusive ownership
+// (owned=true) so the receiving hop may extend the visited set in
+// place; with several destinations the slice is shared between their
+// batches and every receiver must copy (see visitedAdd).
 func (o *outbox) flush(env alg.Env, visited []network.NodeID, aggregate bool) {
 	if len(o.reqs) > 0 {
 		if aggregate {
@@ -69,6 +72,7 @@ func (o *outbox) flush(env alg.Env, visited []network.NodeID, aggregate bool) {
 			for _, x := range o.reqs {
 				o.destAdd(x.to)
 			}
+			owned := len(o.dests) == 1
 			for _, to := range o.dests {
 				n := 0
 				for _, x := range o.reqs {
@@ -82,11 +86,12 @@ func (o *outbox) flush(env alg.Env, visited []network.NodeID, aggregate bool) {
 						reqs = append(reqs, x.r)
 					}
 				}
-				env.Send(to, reqBatch{Visited: visited, Reqs: reqs})
+				env.Send(to, reqBatch{Visited: visited, Reqs: reqs, owned: owned})
 			}
 		} else {
+			owned := len(o.reqs) == 1
 			for _, x := range o.reqs {
-				env.Send(x.to, reqBatch{Visited: visited, Reqs: []request{x.r}})
+				env.Send(x.to, reqBatch{Visited: visited, Reqs: []request{x.r}, owned: owned})
 			}
 		}
 		o.reqs = o.reqs[:0]

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"mralloc/internal/network"
+)
+
+// QueueBench is the benchmark harness for wqueue.Insert, exported for
+// internal/bench's micro grid. wqueue is unexported (protocol-internal
+// state), so the workload lives here — but as plain code, not a
+// *testing.B harness, so the testing package never links into
+// production binaries.
+type QueueBench struct {
+	refs []reqRef
+	q    wqueue
+}
+
+// NewQueueBench prepares an n-entry workload with a deterministic mark
+// sequence.
+func NewQueueBench(n int) *QueueBench {
+	b := &QueueBench{refs: make([]reqRef, n), q: make(wqueue, 0, n)}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range b.refs {
+		x = x*6364136223846793005 + 1442695040888963407
+		b.refs[i] = reqRef{
+			Site: network.NodeID(i % 64),
+			ID:   int64(i),
+			Mark: float64(x>>11) / (1 << 53),
+		}
+	}
+	return b
+}
+
+// Ops reports how many Insert calls one Round performs.
+func (b *QueueBench) Ops() int { return 2 * len(b.refs) }
+
+// Round builds the queue through Insert and probes every entry for
+// duplicate rejection once — the exact mix the token hot path sees at
+// large N. It panics on a wrong outcome so a broken Insert cannot
+// produce a plausible-looking timing.
+func (b *QueueBench) Round() {
+	b.q = b.q[:0]
+	for _, r := range b.refs {
+		if !b.q.Insert(r) {
+			panic(fmt.Sprintf("core: fresh entry %v rejected", r))
+		}
+	}
+	for _, r := range b.refs {
+		if b.q.Insert(r) {
+			panic(fmt.Sprintf("core: duplicate entry %v accepted", r))
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mralloc/internal/network"
 	"mralloc/internal/resource"
@@ -35,15 +36,24 @@ type wqueue []reqRef
 
 // Insert adds e keeping order; it reports false if an entry with the
 // same (Site, ID) is already present (pseudo-code line 154).
+//
+// Insert is on the token hot path (every request that reaches an owner
+// competing for the resource lands here, and queues grow with N), so
+// both the position and the duplicate check use binary search instead
+// of the old full linear scans. Precondition making that sound: a
+// request's Mark is assigned once, at initiation, and never changes —
+// so a duplicate (Site, ID) can only sort where e sorts, i.e. inside
+// the run of order-equal entries at the insertion point. Protocol code
+// upholds this everywhere (the mark rides the request unchanged along
+// every forwarding path); queues decoded off the wire are installed
+// verbatim, not built through Insert, so hostile input cannot break
+// the invariant here.
 func (q *wqueue) Insert(e reqRef) bool {
-	for _, x := range *q {
-		if x.Site == e.Site && x.ID == e.ID {
+	i := sort.Search(len(*q), func(k int) bool { return !(*q)[k].precedes(e) })
+	for j := i; j < len(*q) && !e.precedes((*q)[j]); j++ {
+		if (*q)[j].Site == e.Site && (*q)[j].ID == e.ID {
 			return false
 		}
-	}
-	i := 0
-	for i < len(*q) && (*q)[i].precedes(e) {
-		i++
 	}
 	*q = append(*q, reqRef{})
 	copy((*q)[i+1:], (*q)[i:])

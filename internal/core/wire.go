@@ -51,9 +51,17 @@ func (r request) String() string {
 
 // reqBatch aggregates request messages to one destination (§4.2.2).
 // All requests in a batch share the visited-sites set of §4.2.1.
+//
+// owned reports that the receiver of this batch exclusively owns
+// Visited's backing array and may extend it in place (visitedAdd). It
+// never crosses the wire: the decoder sets it (a decoded slice aliases
+// nothing), and the in-process fabrics deliver the flag the sender
+// computed — true exactly when no sibling batch of the same
+// aggregation flush shares the slice. See visitedAdd for the rule.
 type reqBatch struct {
 	Visited []network.NodeID
 	Reqs    []request
+	owned   bool
 }
 
 // Kind implements network.Message.
@@ -68,12 +76,34 @@ func visitedContains(v []network.NodeID, s network.NodeID) bool {
 	return false
 }
 
-// visitedAdd returns v ∪ {s} without mutating v (batches are shared).
-func visitedAdd(v []network.NodeID, s network.NodeID) []network.NodeID {
+// visitedAdd returns v ∪ {s}. The aliasing rule: one aggregation flush
+// hands the same visited slice to every destination's batch, and an
+// in-process fabric delivers those batches by reference — so distinct
+// receivers may hold aliases of v concurrently, and extending v in
+// place (writing v's backing array at len(v)) would race with them.
+// visitedAdd therefore copies unless the caller owns v's backing
+// exclusively (owned: a batch the wire decoder materialized for this
+// delivery, or one the sender flushed to a single destination), in
+// which case spare capacity is reused and the forwarding hop allocates
+// nothing. Either way the result is exclusively the caller's.
+func visitedAdd(v []network.NodeID, s network.NodeID, owned bool) []network.NodeID {
 	if visitedContains(v, s) {
-		return v
+		if owned {
+			return v
+		}
+		// s is already a member, but the contract still promises an
+		// exclusively-owned result — the caller's flush may mark it
+		// owned for the next hop, so a shared v must not leak through.
+		out := make([]network.NodeID, len(v), len(v)+2)
+		copy(out, v)
+		return out
 	}
-	out := make([]network.NodeID, len(v)+1)
+	if owned && cap(v) > len(v) {
+		return append(v, s)
+	}
+	// One slot of headroom: if this batch reaches its next hop with
+	// ownership intact, that hop's visitedAdd extends in place.
+	out := make([]network.NodeID, len(v)+1, len(v)+2)
 	copy(out, v)
 	out[len(v)] = s
 	return out

@@ -67,8 +67,22 @@ func memFabric() fabric {
 // tcpFabric hosts every node in its own cluster instance over TCP
 // loopback — the maximally distributed deployment, each endpoint a
 // stand-in for one OS process, every message through the wire codec.
-func tcpFabric() fabric {
-	return fabric{name: "tcp", buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
+func tcpFabric() fabric { return tcpWireFabric("tcp", nil) }
+
+// tcpDeltaFabric is tcpFabric with the whole payload-path armory on:
+// delta-encoded token state, vectored egress, and an adaptive flush
+// delay — the invariant battery must hold bit-exact protocol behavior
+// under all of them.
+func tcpDeltaFabric() fabric {
+	return tcpWireFabric("tcp-delta", &transport.WireOptions{
+		Delta:         true,
+		FlushDelay:    50 * time.Microsecond,
+		FlushDelayMax: 2 * time.Millisecond,
+	})
+}
+
+func tcpWireFabric(name string, wire *transport.WireOptions) fabric {
+	return fabric{name: name, buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
 		trs := make([]*transport.TCP, n)
 		addrs := make([]string, n)
 		for i := range trs {
@@ -84,7 +98,7 @@ func tcpFabric() fabric {
 			if err := trs[i].Connect(addrs); err != nil {
 				t.Fatal(err)
 			}
-			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}, Policy: p, Aging: aging}, f)
+			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}, Policy: p, Aging: aging, Wire: wire}, f)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +136,7 @@ func tcpFabric() fabric {
 // the in-process and the TCP-loopback fabric.
 func TestVerifiedStress(t *testing.T) {
 	for algName, factory := range liveAlgorithms() {
-		for _, fb := range []fabric{memFabric(), tcpFabric()} {
+		for _, fb := range []fabric{memFabric(), tcpFabric(), tcpDeltaFabric()} {
 			factory, fb := factory, fb
 			t.Run(algName+"/"+fb.name, func(t *testing.T) {
 				t.Parallel()

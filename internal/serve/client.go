@@ -90,6 +90,11 @@ func (c *Client) SetBatching(on bool) {
 	}
 }
 
+// SetFlushDelay sets the request-egress micro-delay: concurrent
+// Acquires get that long to assemble into one batch envelope before
+// the flush. Zero (the default) flushes on wakeup.
+func (c *Client) SetFlushDelay(d time.Duration) { c.co.SetFlushDelay(d) }
+
 // AnyNode targets no node in particular: the daemon picks one of its
 // hosted nodes round-robin.
 const AnyNode = int(network.None)
@@ -242,16 +247,15 @@ func (c *Client) fail(err error) {
 	go c.co.Close()
 }
 
-// send queues one request frame on the coalescing writer.
+// send queues one request frame on the coalescing writer — encoded
+// into an owned pooled buffer the writer writes from and releases.
 func (c *Client) send(m network.Message) error {
-	buf := wire.GetFrame(64)
-	payload, err := wire.Append(buf, m)
+	frame, err := wire.Append(wire.GetFrame(128)[:wire.FrameDataOff], m)
 	if err != nil {
-		wire.ReleaseFrame(buf)
+		wire.ReleaseFrame(frame)
 		return err
 	}
-	ok := c.co.Append(payload)
-	wire.ReleaseFrame(payload)
+	ok := c.co.AppendOwned(frame, wire.FinishFrame(frame))
 	if !ok {
 		c.mu.Lock()
 		err := c.err

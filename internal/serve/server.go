@@ -48,6 +48,14 @@ type ServerConfig struct {
 	// (no batch envelopes), the pre-batching wire behavior. Benchmarks
 	// use it to measure the batching win; production has no reason to.
 	DisableCoalesce bool
+	// FlushDelay is the response-egress micro-delay: a grant fan-out
+	// burst gets FlushDelay longer to assemble into one batch envelope
+	// before the flush, trading bounded response latency for fewer
+	// writes. Zero (the default) flushes on wakeup. FlushDelayMax,
+	// when above FlushDelay, enables the adaptive scheduler (see
+	// wire.Coalescer.SetFlushAdaptive).
+	FlushDelay    time.Duration
+	FlushDelayMax time.Duration
 }
 
 // Server is one daemon's client port: it accepts connections from
@@ -209,6 +217,11 @@ func (s *Server) serve(nc net.Conn) {
 	// A write error marks the connection dead; the read loop notices
 	// and unwinds.
 	cn.co = wire.NewCoalescer(nc, maxFrames, func(error) { nc.Close() })
+	if fd, fdm := s.cfg.FlushDelay, s.cfg.FlushDelayMax; fdm > fd {
+		cn.co.SetFlushAdaptive(fd, fdm)
+	} else if fd > 0 {
+		cn.co.SetFlushDelay(fd)
+	}
 	s.connsMu.Lock()
 	s.conns[cn] = true
 	s.connsMu.Unlock()
@@ -410,13 +423,14 @@ func (cn *conn) handleRelease(req uint64) {
 
 // send queues one response frame on the connection's coalescing
 // writer; concurrent grant fan-outs coalesce into batch envelopes.
+// The frame is encoded straight into an owned pooled buffer the
+// writer writes from and releases — no copy between encode and flush.
 func (cn *conn) send(m network.Message) {
-	payload, err := wire.Append(wire.GetFrame(64), m)
+	frame, err := wire.Append(wire.GetFrame(128)[:wire.FrameDataOff], m)
 	if err != nil {
 		panic(fmt.Sprintf("serve: encoding own message: %v", err))
 	}
-	cn.co.Append(payload)
-	wire.ReleaseFrame(payload)
+	cn.co.AppendOwned(frame, wire.FinishFrame(frame))
 }
 
 func (s *Server) hostsLocally(node int) bool {

@@ -107,6 +107,13 @@ func TestEgressSurvivesShortWrites(t *testing.T) {
 	}
 }
 
+// TestVectoredEgressShortWrites runs the transporttest conformance
+// case: the owned-frame writev egress through a short-writing net.Conn
+// whose vectored writes consume partially with a nil error.
+func TestVectoredEgressShortWrites(t *testing.T) {
+	transporttest.TestVectoredEgressShortWrites(t)
+}
+
 // TestTCPDeliveryOverLoopback is the socket-level regression: a real
 // TCP pair under bursty load (which exercises batch envelopes end to
 // end) must deliver every frame in order. The loopback kernel path

@@ -67,6 +67,16 @@ type TCP struct {
 	// kept selectable so benchmarks can pin the before/after.
 	noBatch atomic.Bool
 
+	// Wire tuning (Tune): delta token encoding, vectored egress and
+	// flush scheduling. Like noBatch, they apply to connections dialed
+	// after the call. Vectored egress defaults on, so noVec is the
+	// negated flag.
+	delta   atomic.Bool
+	noVec   atomic.Bool
+	tuneMu  sync.Mutex
+	fDelay  time.Duration
+	fDelayM time.Duration
+
 	peersMu sync.RWMutex
 	peers   []string // per node; nil until Connect
 
@@ -93,7 +103,8 @@ type TCP struct {
 type outConn struct {
 	c      net.Conn
 	co     *wire.Coalescer
-	broken atomic.Bool // write failed; next Send to this peer redials
+	strm   *wire.Stream // egress codec context; nil unless delta is on
+	broken atomic.Bool  // write failed; next Send to this peer redials
 	// retired marks the stats folded into wireAccum; guarded by the
 	// endpoint's wireMu so a snapshot can never miss or double-count a
 	// connection retiring concurrently.
@@ -175,6 +186,18 @@ func (t *TCP) SetShape(nodes, resources int) {
 // set it before the first Send.
 func (t *TCP) SetBatching(on bool) { t.noBatch.Store(!on) }
 
+// Tune implements WireTuner: delta token encoding, vectored egress and
+// flush scheduling for the coalescing writers. Like SetBatching it
+// only affects connections dialed after the call — set it before the
+// first Send.
+func (t *TCP) Tune(o WireOptions) {
+	t.delta.Store(o.Delta)
+	t.noVec.Store(o.NoVectored)
+	t.tuneMu.Lock()
+	t.fDelay, t.fDelayM = o.FlushDelay, o.FlushDelayMax
+	t.tuneMu.Unlock()
+}
+
 // Bind implements Transport.
 func (t *TCP) Bind(id network.NodeID, h Handler) {
 	if !t.local[id] {
@@ -202,17 +225,19 @@ func (t *TCP) Send(from, to network.NodeID, m network.Message) {
 	if oc == nil {
 		return // closed or unreachable; error recorded
 	}
-	buf := wire.GetFrame(64)
+	// Owned-frame egress: the frame is encoded once, into a pooled
+	// buffer the coalescing writer writes from directly and releases
+	// after the flush — no copy between encode and syscall.
+	buf := wire.GetFrame(256)[:wire.FrameDataOff]
 	buf = binary.AppendVarint(buf, int64(from))
 	buf = binary.AppendVarint(buf, int64(to))
-	payload, err := wire.Append(buf, m)
+	frame, err := wire.AppendStream(buf, m, oc.strm)
 	if err != nil {
-		wire.ReleaseFrame(buf)
+		wire.ReleaseFrame(frame)
 		t.fail(err)
 		return
 	}
-	oc.co.Append(payload)
-	wire.ReleaseFrame(payload)
+	oc.co.AppendOwned(frame, wire.FinishFrame(frame))
 }
 
 // SendBatch implements BatchSender: the run is encoded into the
@@ -242,22 +267,22 @@ func (t *TCP) SendBatch(from, to network.NodeID, msgs []network.Message) {
 	if oc == nil {
 		return
 	}
-	buf := wire.GetFrame(256)
 	for _, m := range msgs {
-		buf = buf[:0]
+		// One owned pooled buffer per frame: ownership passes to the
+		// coalescing writer, which releases it after the flush.
+		buf := wire.GetFrame(256)[:wire.FrameDataOff]
 		buf = binary.AppendVarint(buf, int64(from))
 		buf = binary.AppendVarint(buf, int64(to))
-		payload, err := wire.Append(buf, m)
+		frame, err := wire.AppendStream(buf, m, oc.strm)
 		if err != nil {
+			wire.ReleaseFrame(frame)
 			t.fail(err)
-			break
+			return
 		}
-		buf = payload // keep the grown capacity for the next frame
-		if !oc.co.Append(payload) {
-			break // connection broke mid-batch; error recorded by onErr
+		if !oc.co.AppendOwned(frame, wire.FinishFrame(frame)) {
+			return // connection broke mid-batch; error recorded by onErr
 		}
 	}
-	wire.ReleaseFrame(buf)
 }
 
 // connFor resolves the outbound connection for a destination node.
@@ -314,6 +339,25 @@ func (t *TCP) conn(addr string) *outConn {
 			oc.co = wire.NewCoalescer(c, maxFrames, func(err error) {
 				t.writeFailed(oc, err)
 			})
+			if t.noVec.Load() {
+				oc.co.SetVectored(false)
+			}
+			t.tuneMu.Lock()
+			fd, fdm := t.fDelay, t.fDelayM
+			t.tuneMu.Unlock()
+			if fdm > fd {
+				oc.co.SetFlushAdaptive(fd, fdm)
+			} else if fd > 0 {
+				oc.co.SetFlushDelay(fd)
+			}
+			if t.delta.Load() {
+				// Announce delta-encoded token state ahead of the first
+				// frame; the per-connection stream carries the encoder's
+				// shadow cache from here on.
+				oc.strm = wire.NewStream()
+				oc.strm.SetFlag(wire.CtrlTokenDelta)
+				oc.co.SetPreamble(wire.AppendControl(nil, wire.CtrlTokenDelta, nil))
+			}
 			t.conns[addr] = oc
 			t.connMu.Unlock()
 			return oc
@@ -402,6 +446,17 @@ func (t *TCP) serve(c net.Conn) {
 		}
 	}()
 	fr := wire.NewFrameReader(c, maxFrame)
+	// The ingress codec context: stream controls the peer announces
+	// (delta-encoded token state) flip flags here, and stateful codecs
+	// keep their per-connection caches in it.
+	strm := wire.NewStream()
+	fr.OnControl(func(code uint64, payload []byte) error {
+		if code == wire.CtrlTokenDelta {
+			strm.SetFlag(code)
+			return nil
+		}
+		return fmt.Errorf("unknown stream control %d", code)
+	})
 	for {
 		// Re-read the shape per frame: a peer may connect (and send)
 		// before this process's cluster has announced it via SetShape.
@@ -424,7 +479,7 @@ func (t *TCP) serve(c net.Conn) {
 			t.connErr(c, fmt.Errorf("frame for node %d, not hosted here", to))
 			return
 		}
-		m, err := wire.DecodeFor(d.Rest(), t.n, resources)
+		m, err := wire.DecodeStream(d.Rest(), t.n, resources, strm)
 		if err != nil {
 			t.connErr(c, err)
 			return

@@ -26,6 +26,7 @@ package transport
 
 import (
 	"sync"
+	"time"
 
 	"mralloc/internal/network"
 )
@@ -55,6 +56,39 @@ type Transport interface {
 	Stats() map[string]int64
 	// Close tears the endpoint down. Idempotent.
 	Close() error
+}
+
+// WireOptions tunes the egress wire path of a socket transport. Every
+// knob is independently disableable so benchmarks can isolate each
+// optimization's effect, and the zero value of every field selects the
+// default behavior — setting one knob never silently flips another.
+type WireOptions struct {
+	// Delta enables delta-encoded token state (wire.CtrlTokenDelta):
+	// connections dialed after the call announce the control and ship
+	// token deltas instead of full snapshots. Both ends of every peer
+	// link must run a delta-aware build; leave it off to interoperate
+	// with pre-delta peers.
+	Delta bool
+	// NoVectored disables the writev egress for batched frames
+	// (on by default), restoring the copy-assemble flush for
+	// before/after runs.
+	NoVectored bool
+	// FlushDelay is the egress micro-delay: a flusher waking on a
+	// non-empty queue waits this long before draining, trading bounded
+	// latency for bigger batches. Zero flushes on wakeup.
+	FlushDelay time.Duration
+	// FlushDelayMax, when above FlushDelay, enables the adaptive
+	// scheduler: the delay widens toward FlushDelayMax while small
+	// flushes pile up under high fan-in and narrows back otherwise.
+	FlushDelayMax time.Duration
+}
+
+// WireTuner is implemented by transports whose egress wire path is
+// tunable (the TCP transport); the live runtime forwards
+// live.Config.Wire through it. Fabrics without a wire path (Mem)
+// simply do not implement it.
+type WireTuner interface {
+	Tune(WireOptions)
 }
 
 // ShapeValidator is implemented by transports that validate inbound

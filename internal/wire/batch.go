@@ -11,22 +11,32 @@ import (
 // message its own write; under load a sender has many frames queued for
 // one connection, and flushing them one envelope at a time wastes a
 // syscall per message. The batch envelope packs any number of frames
-// into one length-prefixed unit:
+// into one length-prefixed unit, and the stream-control element lets a
+// sender announce connection-scoped codec features in-band:
 //
 //	single frame:   uvarint(n), n > 0   then n payload bytes
 //	batch envelope: uvarint(0)          the batch marker
-//	                uvarint(env)        total bytes of the enclosed frames
+//	                uvarint(env), env>0 total bytes of the enclosed frames
 //	                env bytes           two or more frames, each
 //	                                    uvarint(n>0) + n payload bytes
+//	stream control: uvarint(0)          the batch marker
+//	                uvarint(0)          the control marker
+//	                uvarint(code)       which feature (Ctrl* constants)
+//	                uvarint(k), k bytes code-specific payload
 //
 // A zero length prefix is impossible in the single-frame format (an
-// empty payload cannot carry a message), which is what makes the marker
-// unambiguous: the two formats coexist on one stream, and a reader that
-// understands batches still accepts every pre-batch stream byte for
-// byte. Empty envelopes, empty frames inside an envelope, and nested
-// markers are malformed. This layout is a compatibility surface (see
-// README "Wire path & batching"): both the peer transport and the
-// client port speak it.
+// empty payload cannot carry a message), which is what makes the batch
+// marker unambiguous; a zero envelope length is impossible for a batch
+// (an envelope holds at least one frame), which is what makes the
+// control marker unambiguous in turn. The three formats coexist on one
+// stream, and a reader that understands all of them still accepts
+// every pre-batch stream byte for byte; conversely a legacy stream
+// never contains either marker. Empty frames inside an envelope and
+// nested markers are malformed, and a control is only valid between
+// stream elements, never inside an envelope. This layout is a
+// compatibility surface (see README "Wire path & batching" and
+// "Payload path"): both the peer transport and the client port speak
+// it.
 
 // MaxEnvelope caps the body of one batch envelope a writer emits.
 // Readers enforce their own (usually larger) limit; the writer cap just
@@ -42,6 +52,31 @@ func AppendBatch(dst, body []byte) []byte {
 	dst = append(dst, 0) // batch marker: a zero uvarint
 	dst = binary.AppendUvarint(dst, uint64(len(body)))
 	return append(dst, body...)
+}
+
+// Stream-control codes. A control is addressed to the connection, not
+// to a frame consumer: FrameReader surfaces it through OnControl and
+// carries on with the next stream element.
+const (
+	// CtrlTokenDelta announces that the sender's LASS.Response token
+	// payloads on this stream use the delta-capable encoding of
+	// internal/core (full snapshots and deltas discriminated per
+	// token; epoch/seq stamps ride in the tokens themselves). Its
+	// payload is empty. Senders emit it once, before the first frame.
+	CtrlTokenDelta = 1
+)
+
+// maxControlPayload bounds one control's payload; current controls
+// carry none, and nothing legitimate ever needs much.
+const maxControlPayload = 1 << 10
+
+// AppendControl appends a stream-control element onto dst — the
+// writer-side dual of FrameReader's OnControl.
+func AppendControl(dst []byte, code uint64, payload []byte) []byte {
+	dst = append(dst, 0, 0) // batch marker, then the control marker
+	dst = binary.AppendUvarint(dst, code)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
 }
 
 // uvarintLen reports how many bytes binary.AppendUvarint would use.
@@ -68,6 +103,17 @@ type FrameReader struct {
 	max uint64
 	env uint64 // bytes remaining in the current batch envelope
 	buf []byte // reused frame buffer
+
+	// onControl, when set, receives stream-control elements; its error
+	// fails the stream. A reader with no handler treats a control as
+	// malformed input — nothing should send controls it did not expect.
+	onControl func(code uint64, payload []byte) error
+}
+
+// OnControl installs the stream-control handler (see AppendControl).
+// Call it before the first Next.
+func (fr *FrameReader) OnControl(fn func(code uint64, payload []byte) error) {
+	fr.onControl = fn
 }
 
 // NewFrameReader wraps r (buffered if it is not already), rejecting
@@ -85,7 +131,7 @@ func NewFrameReader(r io.Reader, max uint64) *FrameReader {
 // is io.ErrUnexpectedEOF. The returned slice is valid only until the
 // next call.
 func (fr *FrameReader) Next() ([]byte, error) {
-	if fr.env == 0 {
+	for fr.env == 0 {
 		size, err := binary.ReadUvarint(fr.br)
 		if err != nil {
 			return nil, err // io.EOF here is a clean end of stream
@@ -103,7 +149,12 @@ func (fr *FrameReader) Next() ([]byte, error) {
 			return nil, noEOF(err)
 		}
 		if env == 0 {
-			return nil, fmt.Errorf("wire: empty batch envelope")
+			// Control marker: consume the control, then loop for the
+			// next stream element — controls yield no frame.
+			if err := fr.control(); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if env > fr.max {
 			return nil, fmt.Errorf("wire: batch envelope of %d bytes exceeds limit %d", env, fr.max)
@@ -125,6 +176,30 @@ func (fr *FrameReader) Next() ([]byte, error) {
 	}
 	fr.env -= cost
 	return fr.read(size)
+}
+
+// control reads one stream-control element (the two marker bytes are
+// already consumed) and hands it to the handler.
+func (fr *FrameReader) control() error {
+	code, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		return noEOF(err)
+	}
+	n, err := binary.ReadUvarint(fr.br)
+	if err != nil {
+		return noEOF(err)
+	}
+	if n > maxControlPayload {
+		return fmt.Errorf("wire: stream control %d with %d-byte payload exceeds limit %d", code, n, maxControlPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		return noEOF(err)
+	}
+	if fr.onControl == nil {
+		return fmt.Errorf("wire: unexpected stream control %d on a control-free stream", code)
+	}
+	return fr.onControl(code, payload)
 }
 
 // read fills the reused buffer with size payload bytes.

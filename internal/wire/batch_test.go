@@ -65,7 +65,9 @@ func TestFrameReaderRejectsMalformedEnvelopes(t *testing.T) {
 		name   string
 		stream []byte
 	}{
-		{"empty envelope", []byte{0, 0}},
+		{"bare control marker (truncated control)", []byte{0, 0}},
+		{"control on a control-free stream", wire.AppendControl(nil, 1, nil)},
+		{"control payload over limit", wire.AppendControl(nil, 1, make([]byte, 4096))},
 		{"empty frame in envelope", append([]byte{0, 1}, 0)},
 		{"nested marker", func() []byte {
 			// An envelope whose body starts with another batch marker:
@@ -335,5 +337,61 @@ func TestGetReleaseFrame(t *testing.T) {
 	c := wire.GetFrame(1)
 	if len(c) != 0 {
 		t.Fatalf("recycled buffer not empty: len=%d", len(c))
+	}
+}
+
+// TestFrameReaderStreamControls: controls interleave with frames and
+// envelopes, are surfaced through OnControl in stream order, and yield
+// no frame; a handler error fails the stream.
+func TestFrameReaderStreamControls(t *testing.T) {
+	var stream []byte
+	stream = wire.AppendControl(stream, wire.CtrlTokenDelta, nil)
+	stream = wire.AppendFrame(stream, []byte("aa"))
+	stream = wire.AppendControl(stream, 9, []byte{1, 2})
+	stream = wire.AppendBatch(stream, wire.AppendFrame(wire.AppendFrame(nil, []byte("bb")), []byte("cc")))
+
+	var controls []uint64
+	var payloads [][]byte
+	fr := wire.NewFrameReader(bytes.NewReader(stream), 1<<16)
+	fr.OnControl(func(code uint64, payload []byte) error {
+		controls = append(controls, code)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	var frames [][]byte
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, append([]byte(nil), f...))
+	}
+	if len(frames) != 3 || string(frames[0]) != "aa" || string(frames[1]) != "bb" || string(frames[2]) != "cc" {
+		t.Fatalf("frames = %q", frames)
+	}
+	if len(controls) != 2 || controls[0] != wire.CtrlTokenDelta || controls[1] != 9 {
+		t.Fatalf("controls = %v", controls)
+	}
+	if len(payloads[1]) != 2 || payloads[1][0] != 1 {
+		t.Fatalf("control payload = %v", payloads[1])
+	}
+
+	// A handler rejecting a control fails the stream.
+	fr = wire.NewFrameReader(bytes.NewReader(stream), 1<<16)
+	fr.OnControl(func(code uint64, payload []byte) error {
+		if code != wire.CtrlTokenDelta {
+			return fmt.Errorf("unknown control %d", code)
+		}
+		return nil
+	})
+	var err error
+	for err == nil {
+		_, err = fr.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("unknown control accepted")
 	}
 }

@@ -5,17 +5,31 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Coalescer turns a stream of per-message frames into batched writes:
 // senders append frames (cheap, never blocking on the network) and a
 // dedicated flusher goroutine drains everything queued since its last
-// wakeup into one write — a single frame when one message is pending,
-// a batch envelope when more are. Batching therefore costs no added
-// latency: it only kicks in exactly when the writer is already behind,
-// which is when the per-write cost matters.
+// wakeup into one flush group — a single frame when one message is
+// pending, a batch envelope when more are. With no flush delay
+// configured, batching costs no added latency: it only kicks in
+// exactly when the writer is already behind, which is when the
+// per-write cost matters. A configurable micro-delay (SetFlushDelay)
+// trades that bound for bigger batches, and the adaptive mode
+// (SetFlushAdaptive) widens the delay only while small flushes pile up
+// under high fan-in.
+//
+// Frames are held in the pooled buffers they were encoded into
+// (AppendOwned transfers ownership; Append copies into one) and an
+// envelope flush hands them to the connection as one vectored write
+// (net.Buffers / writev) with the envelope header materialized
+// in-place in the first frame's reserved prefix — no per-flush memcpy.
+// SetVectored(false) restores the copy-assemble egress for
+// before/after measurement.
 //
 // One Coalescer serves one connection. Senders may call Append
 // concurrently; frame order is append order, which is what preserves
@@ -29,8 +43,7 @@ type Coalescer struct {
 	onErr   func(error)
 	mu      sync.Mutex
 	nonIdle sync.Cond // signaled on empty→non-empty and on close
-	pending []byte    // queued frames, after a headerReserve prefix
-	marks   []int     // frame-end offsets into pending
+	pending []span    // queued frames, append order
 	closed  bool
 	err     error
 	// maxFrames, when positive, bounds how many frames one flush may
@@ -38,28 +51,86 @@ type Coalescer struct {
 	// wire behavior, kept measurable for before/after benchmarks).
 	// Guarded by mu; the flusher samples it per drain.
 	maxFrames int
+	// vectored selects the writev egress for envelope flushes; off, the
+	// group is copied into one contiguous buffer first (the pre-writev
+	// behavior, kept measurable). Guarded by mu.
+	vectored bool
 
-	// spare is the flusher's drained buffer handed back for reuse:
-	// appends and the in-flight write never share a buffer.
-	spareBuf   []byte
-	spareMarks []int
+	// Flush scheduling (guarded by mu). delay is the current
+	// micro-delay the flusher sleeps after waking on a non-empty
+	// queue; base/max bound it, and max > base enables the adaptive
+	// controller (emaFrames tracks frames per drain).
+	delay, delayBase, delayMax time.Duration
+	emaFrames                  float64
+
+	// preamble is written before the first flush — stream controls a
+	// dialer announces ahead of any frame.
+	preamble []byte
+
+	// spare is the flusher's drained span slice handed back for reuse;
+	// copyBuf/vecBufs are the flusher's private flush scratch.
+	spare   []span
+	copyBuf []byte
+	vecBufs [][]byte
 
 	stats CoalescerStats // guarded by mu
 
-	done chan struct{} // closed when the flusher exits
+	closeCh chan struct{} // closed by Close; cuts a pending micro-delay short
+	done    chan struct{} // closed when the flusher exits
 }
 
-// headerReserve prefixes the pending buffer with room for the largest
-// possible batch envelope header, so a flush can materialize the
-// header in place (right-aligned against the first frame) and issue
-// one contiguous write with no copying.
+// span is one queued frame: buf[off:] holds the complete frame
+// (uvarint length prefix + payload) inside a pooled buffer that the
+// flusher releases after the write. At least headerReserve writable
+// bytes precede off, so an envelope flush can materialize its header
+// right-aligned against the group's first frame and write with no
+// copying.
+type span struct {
+	buf []byte
+	off int
+}
+
+func (s span) frame() []byte { return s.buf[s.off:] }
+
+// headerReserve is the room producers leave before a frame for the
+// largest possible batch envelope header, so a flush can materialize
+// the header in place and issue one contiguous (or vectored) write
+// with no copying.
 const headerReserve = 1 + binary.MaxVarintLen64
 
+// FrameDataOff is where producers of owned frames must start appending
+// their encoded payload into a pooled buffer (GetFrame): enough room
+// is reserved before it for the frame's own length prefix
+// (FinishFrame right-aligns it) and, when the frame opens a batch
+// envelope, the envelope header.
+const FrameDataOff = headerReserve + binary.MaxVarintLen64
+
+// FinishFrame materializes the length prefix of a frame whose payload
+// occupies buf[FrameDataOff:], right-aligned against the payload, and
+// returns the offset where the finished frame starts — the off to hand
+// to AppendOwned.
+func FinishFrame(buf []byte) int {
+	n := uint64(len(buf) - FrameDataOff)
+	off := FrameDataOff - uvarintLen(n)
+	binary.PutUvarint(buf[off:], n)
+	return off
+}
+
+// VectorWriter is the writer-side hook for vectored egress: one call
+// consumes one batch of buffers. Real sockets do not need it — the
+// coalescer hands them net.Buffers (writev) directly — but conn
+// wrappers and tests implement it to observe or perturb the vectored
+// path. Like Write, a short count with a nil error is tolerated by the
+// caller (the remainder is retried), never trusted.
+type VectorWriter interface {
+	WriteVec(bufs [][]byte) (int, error)
+}
+
 // CoalescerStats counts a coalescing writer's egress. Writes is the
-// syscall proxy the benchmarks compare: how many Write calls reached
-// the underlying connection.
+// syscall proxy the benchmarks compare: how many Write (or vectored
+// write) calls reached the underlying connection.
 type CoalescerStats struct {
-	Writes  int64 // Write calls issued on the underlying writer
+	Writes  int64 // write calls issued on the underlying writer
 	Flushes int64 // flush groups (each one frame or one batch envelope)
 	Batches int64 // flush groups that used a batch envelope (≥2 frames)
 	Frames  int64 // frames written
@@ -109,8 +180,12 @@ func (s CoalescerStats) HistString() string {
 
 // NewCoalescer starts a coalescing writer over w. maxFrames bounds the
 // frames per flush (0 = unbounded, 1 = no batching); onErr may be nil.
+// Vectored egress is on by default; the flush delay is zero.
 func NewCoalescer(w io.Writer, maxFrames int, onErr func(error)) *Coalescer {
-	c := &Coalescer{w: w, onErr: onErr, maxFrames: maxFrames, done: make(chan struct{})}
+	c := &Coalescer{
+		w: w, onErr: onErr, maxFrames: maxFrames, vectored: true,
+		closeCh: make(chan struct{}), done: make(chan struct{}),
+	}
 	c.nonIdle.L = &c.mu
 	go c.flusher()
 	return c
@@ -125,35 +200,96 @@ func (c *Coalescer) SetMaxFrames(n int) {
 	c.mu.Unlock()
 }
 
-// Append queues one frame holding payload (the bytes are copied; the
-// caller may recycle payload immediately). It reports false once the
-// coalescer is closed or its connection has failed — the frame is then
-// dropped, like a Send on a closed transport.
+// SetVectored toggles the writev egress for envelope flushes (on by
+// default). Off, the group is assembled into one contiguous buffer and
+// written whole — the pre-writev behavior, kept so benchmarks can
+// measure the vectored win on identical workloads.
+func (c *Coalescer) SetVectored(on bool) {
+	c.mu.Lock()
+	c.vectored = on
+	c.mu.Unlock()
+}
+
+// SetFlushDelay fixes the micro-delay the flusher waits after waking
+// on a non-empty queue before draining — frames arriving inside the
+// window join the same flush. Zero (the default) restores
+// flush-on-wakeup; the delay bounds the latency a queued frame can be
+// held. Disables the adaptive mode.
+func (c *Coalescer) SetFlushDelay(d time.Duration) {
+	c.mu.Lock()
+	c.delay, c.delayBase, c.delayMax = d, d, d
+	c.mu.Unlock()
+}
+
+// SetFlushAdaptive enables the adaptive flush scheduler: the
+// micro-delay starts at base and widens toward max while flushes stay
+// small with new frames already queued behind the write (many small
+// flushes under high fan-in — exactly when widening buys batching),
+// narrowing back as batches grow or the pressure vanishes. max must
+// exceed base to enable; max bounds the latency a frame can be held.
+func (c *Coalescer) SetFlushAdaptive(base, max time.Duration) {
+	c.mu.Lock()
+	c.delay, c.delayBase, c.delayMax = base, base, max
+	c.emaFrames = 0
+	c.mu.Unlock()
+}
+
+// FlushDelay reports the current micro-delay (fixed, or the adaptive
+// controller's present choice).
+func (c *Coalescer) FlushDelay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delay
+}
+
+// SetPreamble queues raw stream bytes (controls built with
+// AppendControl) to be written before the first flush. Call it before
+// the first Append; the bytes are not retained beyond the first flush.
+func (c *Coalescer) SetPreamble(b []byte) {
+	c.mu.Lock()
+	c.preamble = b
+	c.mu.Unlock()
+}
+
+// Append queues one frame holding payload (the bytes are copied into a
+// pooled buffer; the caller may recycle payload immediately). It
+// reports false once the coalescer is closed or its connection has
+// failed — the frame is then dropped, like a Send on a closed
+// transport.
 func (c *Coalescer) Append(payload []byte) bool {
+	buf := GetFrame(headerReserve + binary.MaxVarintLen64 + len(payload))
+	buf = buf[:headerReserve]
+	buf = AppendFrame(buf, payload)
+	return c.append(span{buf: buf, off: headerReserve})
+}
+
+// AppendOwned queues one finished frame, taking ownership of buf — a
+// pooled buffer whose payload was appended from FrameDataOff and whose
+// length prefix FinishFrame put at off. The coalescer releases buf to
+// the frame pool after the write (or on refusal); the caller must not
+// touch it again. This is the zero-copy egress path: the encoded bytes
+// are written from this very buffer.
+func (c *Coalescer) AppendOwned(buf []byte, off int) bool {
+	if off < headerReserve || off >= len(buf) {
+		panic(fmt.Sprintf("wire: AppendOwned offset %d outside [%d, %d)", off, headerReserve, len(buf)))
+	}
+	return c.append(span{buf: buf, off: off})
+}
+
+func (c *Coalescer) append(s span) bool {
 	c.mu.Lock()
 	if c.closed || c.err != nil {
 		c.mu.Unlock()
+		ReleaseFrame(s.buf)
 		return false
 	}
-	if len(c.pending) < headerReserve {
-		c.pending = c.reserve(c.pending)
-	}
-	c.pending = AppendFrame(c.pending, payload)
-	c.marks = append(c.marks, len(c.pending))
-	if len(c.marks) == 1 {
+	c.pending = append(c.pending, s)
+	if len(c.pending) == 1 {
 		// Only an empty→non-empty edge can find the flusher parked.
 		c.nonIdle.Signal()
 	}
 	c.mu.Unlock()
 	return true
-}
-
-// reserve (re)establishes the envelope-header prefix on an empty buffer.
-func (c *Coalescer) reserve(buf []byte) []byte {
-	if cap(buf) < headerReserve {
-		return make([]byte, headerReserve, frameBufCap)
-	}
-	return buf[:headerReserve]
 }
 
 // Err reports the first write error, or nil.
@@ -170,12 +306,14 @@ func (c *Coalescer) Stats() CoalescerStats {
 	return c.stats
 }
 
-// Close flushes anything still queued, stops the flusher, and returns
-// the first write error, if any. Idempotent.
+// Close flushes anything still queued (cutting a pending micro-delay
+// short), stops the flusher, and returns the first write error, if
+// any. Idempotent.
 func (c *Coalescer) Close() error {
 	c.mu.Lock()
 	if !c.closed {
 		c.closed = true
+		close(c.closeCh)
 		c.nonIdle.Signal()
 	}
 	c.mu.Unlock()
@@ -185,74 +323,156 @@ func (c *Coalescer) Close() error {
 	return c.err
 }
 
-// flusher is the write-side goroutine: each wakeup takes the whole
-// queue in one swap and writes it out in as few writes as the limits
-// allow.
+// Adaptive flush controller constants: widen while drains average
+// fewer than adaptSmallFrames frames with more already queued, narrow
+// at adaptLargeFrames or when the queue drains dry.
+const (
+	adaptSmallFrames = 4.0
+	adaptLargeFrames = 32.0
+)
+
+// flusher is the write-side goroutine: each wakeup (optionally held
+// for the micro-delay) takes the whole queue in one swap and writes it
+// out in as few writes as the limits allow.
 func (c *Coalescer) flusher() {
 	defer close(c.done)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		c.mu.Lock()
-		for len(c.marks) == 0 && !c.closed {
+		for len(c.pending) == 0 && !c.closed {
 			c.nonIdle.Wait()
 		}
-		if len(c.marks) == 0 { // closed and drained
+		if len(c.pending) == 0 { // closed and drained
 			c.mu.Unlock()
 			return
 		}
-		buf, marks := c.pending, c.marks
-		maxFrames := c.maxFrames
-		c.pending, c.marks = c.spareBuf, c.spareMarks
-		c.spareBuf, c.spareMarks = nil, nil
+		delay, closed := c.delay, c.closed
 		c.mu.Unlock()
 
-		stats, err := c.writeOut(buf, marks, maxFrames)
+		if delay > 0 && !closed {
+			// Micro-delay: let more frames join this drain. Close cuts
+			// the wait short so shutdown latency stays bounded by the
+			// write, not the delay.
+			if timer == nil {
+				timer = time.NewTimer(delay)
+			} else {
+				timer.Reset(delay)
+			}
+			select {
+			case <-timer.C:
+			case <-c.closeCh:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			}
+		}
 
 		c.mu.Lock()
-		c.stats.Add(stats)
-		c.spareBuf, c.spareMarks = buf[:0], marks[:0]
+		spans := c.pending
+		maxFrames, vectored := c.maxFrames, c.vectored
+		c.pending, c.spare = c.spare[:0], nil
+		pre := c.preamble
+		c.preamble = nil
+		c.mu.Unlock()
+
+		var st CoalescerStats
+		var err error
+		if len(pre) > 0 {
+			err = c.write(&st, nil, pre)
+		}
+		if err == nil {
+			err = c.writeOut(&st, spans, maxFrames, vectored)
+		}
+		for i := range spans {
+			ReleaseFrame(spans[i].buf)
+			spans[i] = span{}
+		}
+
+		c.mu.Lock()
+		c.stats.Add(st)
+		c.spare = spans[:0]
+		if c.delayMax > c.delayBase {
+			c.adapt(len(spans), len(c.pending) > 0)
+		}
 		if err != nil && c.err == nil {
 			c.err = err
 		}
 		c.mu.Unlock()
 		if err != nil {
+			// The connection is broken; nothing more will be written.
+			// Frames that raced in behind the drain would leak their
+			// pooled buffers — release them (append refuses from now on).
+			c.mu.Lock()
+			stale := c.pending
+			c.pending = nil
+			c.mu.Unlock()
+			for _, s := range stale {
+				ReleaseFrame(s.buf)
+			}
 			if c.onErr != nil {
 				c.onErr(err)
 			}
-			return // the connection is broken; nothing more to write
+			return
 		}
 	}
 }
 
-// writeOut writes the drained queue: frames are grouped into flushes of
-// at most maxFrames frames and MaxEnvelope bytes, each flush one
-// single-frame write or one batch envelope.
-func (c *Coalescer) writeOut(buf []byte, marks []int, maxFrames int) (CoalescerStats, error) {
-	var st CoalescerStats
-	start, first := headerReserve, 0
-	for first < len(marks) {
-		// Grow the group while the limits allow.
-		last := first
-		for last+1 < len(marks) &&
-			(maxFrames <= 0 || last+1-first < maxFrames) &&
-			marks[last+1]-start <= MaxEnvelope {
-			last++
+// adapt is the adaptive flush controller (mu held): drained is the
+// frame count of the drain just written, pressure whether new frames
+// were already queued behind it.
+func (c *Coalescer) adapt(drained int, pressure bool) {
+	c.emaFrames = 0.75*c.emaFrames + 0.25*float64(drained)
+	switch {
+	case pressure && c.emaFrames < adaptSmallFrames:
+		d := c.delay * 2
+		if d == 0 {
+			if d = c.delayMax / 16; d == 0 {
+				d = c.delayMax
+			}
 		}
-		end := marks[last]
+		if d > c.delayMax {
+			d = c.delayMax
+		}
+		c.delay = d
+	case !pressure || c.emaFrames >= adaptLargeFrames:
+		d := c.delay / 2
+		if d < c.delayBase {
+			d = c.delayBase
+		}
+		c.delay = d
+	}
+}
+
+// writeOut writes the drained queue: frames are grouped into flushes
+// of at most maxFrames frames and MaxEnvelope bytes, each flush one
+// single-frame write or one batch envelope (vectored or copied).
+func (c *Coalescer) writeOut(st *CoalescerStats, spans []span, maxFrames int, vectored bool) error {
+	first := 0
+	for first < len(spans) {
+		// Grow the group while the limits allow.
+		last, size := first, len(spans[first].frame())
+		for last+1 < len(spans) &&
+			(maxFrames <= 0 || last+1-first < maxFrames) &&
+			size+len(spans[last+1].frame()) <= MaxEnvelope {
+			last++
+			size += len(spans[last].frame())
+		}
 		frames := last + 1 - first
 		var err error
-		if frames == 1 {
-			err = c.write(&st, nil, buf[start:end])
-		} else if start == headerReserve {
-			// First group: materialize the envelope header in the
-			// reserved prefix for one contiguous write.
-			h := start - uvarintLen(uint64(end-start)) - 1
-			buf[h] = 0
-			binary.PutUvarint(buf[h+1:], uint64(end-start))
-			err = c.write(&st, nil, buf[h:end])
-		} else {
-			var hdr [headerReserve]byte
-			n := binary.PutUvarint(hdr[1:], uint64(end-start))
-			err = c.write(&st, hdr[:1+n], buf[start:end])
+		switch {
+		case frames == 1:
+			// Single-buffer fast path: the frame is already contiguous
+			// in its own buffer; one legacy-format write.
+			err = c.write(st, nil, spans[first].frame())
+		case vectored:
+			err = c.writeVec(st, spans[first:last+1], size)
+		default:
+			err = c.writeCopy(st, spans[first:last+1], size)
 		}
 		st.Flushes++
 		st.Frames += int64(frames)
@@ -261,11 +481,95 @@ func (c *Coalescer) writeOut(buf []byte, marks []int, maxFrames int) (CoalescerS
 			st.Batches++
 		}
 		if err != nil {
-			return st, err
+			return err
 		}
-		start, first = end, last+1
+		first = last + 1
 	}
-	return st, nil
+	return nil
+}
+
+// writeVec writes one batch envelope as a vectored write: the envelope
+// header is materialized in the reserved prefix of the group's first
+// frame (right-aligned, in place) and the frame buffers go to the
+// writer as one batch — no memcpy between encode and syscall.
+func (c *Coalescer) writeVec(st *CoalescerStats, group []span, size int) error {
+	s0 := group[0]
+	h := s0.off - 1 - uvarintLen(uint64(size))
+	s0.buf[h] = 0
+	binary.PutUvarint(s0.buf[h+1:s0.off], uint64(size))
+	bufs := c.vecBufs[:0]
+	bufs = append(bufs, s0.buf[h:])
+	for _, s := range group[1:] {
+		bufs = append(bufs, s.frame())
+	}
+	c.vecBufs = bufs
+	return c.vwrite(st, bufs)
+}
+
+// vwrite pushes a buffer batch to the writer, tolerating partial
+// writes explicitly across and within buffers. Real sockets take the
+// net.Buffers path (writev); VectorWriter implementations get the
+// whole batch per call; plain writers get one careful Write per
+// buffer. net.Buffers' own io.Writer fallback is deliberately not
+// used: it trusts the Write contract, and a short write with a nil
+// error would silently desync the framed stream.
+func (c *Coalescer) vwrite(st *CoalescerStats, bufs [][]byte) error {
+	for len(bufs) > 0 {
+		var n int64
+		var err error
+		switch w := c.w.(type) {
+		case VectorWriter:
+			var k int
+			k, err = w.WriteVec(bufs)
+			n = int64(k)
+			bufs = consumeBufs(bufs, n)
+		case *net.TCPConn, *net.UnixConn:
+			nb := net.Buffers(bufs)
+			n, err = nb.WriteTo(c.w)
+			bufs = nb
+		default:
+			var k int
+			k, err = c.w.Write(bufs[0])
+			n = int64(k)
+			bufs = consumeBufs(bufs, n)
+		}
+		st.Writes++
+		st.Bytes += n
+		if err != nil {
+			return err
+		}
+		if n == 0 && len(bufs) > 0 {
+			return io.ErrShortWrite // refuse to spin on a stuck writer
+		}
+	}
+	return nil
+}
+
+// consumeBufs drops n written bytes off the front of bufs.
+func consumeBufs(bufs [][]byte, n int64) [][]byte {
+	for n > 0 && len(bufs) > 0 {
+		if n < int64(len(bufs[0])) {
+			bufs[0] = bufs[0][n:]
+			return bufs
+		}
+		n -= int64(len(bufs[0]))
+		bufs = bufs[1:]
+	}
+	return bufs
+}
+
+// writeCopy is the vectored-off twin: the group is assembled —
+// envelope header, then every frame — into one reused contiguous
+// buffer and written whole (the pre-writev egress, kept measurable).
+func (c *Coalescer) writeCopy(st *CoalescerStats, group []span, size int) error {
+	buf := c.copyBuf[:0]
+	buf = append(buf, 0)
+	buf = binary.AppendUvarint(buf, uint64(size))
+	for _, s := range group {
+		buf = append(buf, s.frame()...)
+	}
+	c.copyBuf = buf
+	return c.write(st, nil, buf)
 }
 
 // write pushes hdr (optional) then body to the writer, tolerating

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestAdaptController pins the adaptive flush scheduler's decisions
+// deterministically (the flusher calls adapt with the same inputs):
+// sustained small drains under pressure widen the delay to its bound,
+// big drains or vanished pressure narrow it back to base.
+func TestAdaptController(t *testing.T) {
+	c := &Coalescer{delayBase: 0, delayMax: time.Millisecond}
+
+	for i := 0; i < 64; i++ {
+		c.adapt(1, true)
+	}
+	if c.delay != c.delayMax {
+		t.Fatalf("delay = %v after sustained small flushes under pressure, want %v", c.delay, c.delayMax)
+	}
+
+	for i := 0; i < 64; i++ {
+		c.adapt(64, true)
+	}
+	if c.delay != c.delayBase {
+		t.Fatalf("delay = %v after sustained large flushes, want base %v", c.delay, c.delayBase)
+	}
+
+	// Pressure gone: even with small drains the delay must decay — a
+	// lone frame per wakeup on an idle connection should not be held.
+	c.delay, c.emaFrames = c.delayMax, 0
+	for i := 0; i < 64; i++ {
+		c.adapt(1, false)
+	}
+	if c.delay != c.delayBase {
+		t.Fatalf("delay = %v with no pressure, want base %v", c.delay, c.delayBase)
+	}
+
+	// A non-zero base is the floor, not zero.
+	c.delayBase, c.delayMax = 100*time.Microsecond, time.Millisecond
+	c.delay, c.emaFrames = c.delayMax, 0
+	for i := 0; i < 64; i++ {
+		c.adapt(64, true)
+	}
+	if c.delay != c.delayBase {
+		t.Fatalf("delay = %v, want floor %v", c.delay, c.delayBase)
+	}
+}
+
+// TestFinishFrameLayout pins the owned-frame geometry: the length
+// prefix lands right-aligned against the payload with at least
+// headerReserve writable bytes before it for the envelope header.
+func TestFinishFrameLayout(t *testing.T) {
+	for _, size := range []int{0, 1, 127, 128, 300, 70000} {
+		buf := make([]byte, FrameDataOff, FrameDataOff+size)
+		for i := 0; i < size; i++ {
+			buf = append(buf, byte(i))
+		}
+		off := FinishFrame(buf)
+		if off < headerReserve {
+			t.Fatalf("size %d: frame start %d leaves less than headerReserve=%d", size, off, headerReserve)
+		}
+		frame := buf[off:]
+		// The frame must parse as uvarint(size) + payload.
+		got, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), 1<<20)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(got) != size {
+			t.Fatalf("size %d: decoded %d payload bytes", size, len(got))
+		}
+	}
+}

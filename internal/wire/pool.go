@@ -21,8 +21,11 @@ const (
 	frameBufCap = 4096
 	// maxPooledCap bounds the capacity of a buffer the pool will keep.
 	maxPooledCap = 1 << 18
-	// maxPooledBufs bounds how many buffers the pool holds.
-	maxPooledBufs = 64
+	// maxPooledBufs bounds how many buffers the pool holds. Owned-frame
+	// egress keeps one pooled buffer per queued frame (the coalescing
+	// writers release them after the write), so a deep send queue
+	// cycles many more buffers than the old encode-copy-release path.
+	maxPooledBufs = 256
 )
 
 var framePool struct {

@@ -82,6 +82,14 @@ func Samples() []network.Message {
 // Append encodes m — kind string, then payload — onto buf and returns
 // the extended buffer. It fails only for unregistered kinds.
 func Append(buf []byte, m network.Message) ([]byte, error) {
+	return AppendStream(buf, m, nil)
+}
+
+// AppendStream is Append under a per-connection codec context: codecs
+// that keep per-stream state (core's token deltas) read and update it
+// through the encoder's Stream. A nil Stream yields the legacy
+// encoding byte for byte.
+func AppendStream(buf []byte, m network.Message, strm *Stream) ([]byte, error) {
 	kind := m.Kind()
 	regMu.RLock()
 	c, ok := registry[kind]
@@ -89,7 +97,7 @@ func Append(buf []byte, m network.Message) ([]byte, error) {
 	if !ok {
 		return buf, fmt.Errorf("wire: no codec registered for kind %q", kind)
 	}
-	e := Enc{buf: buf}
+	e := Enc{buf: buf, strm: strm}
 	e.String(kind)
 	c.enc(&e, m)
 	return e.buf, nil
@@ -107,7 +115,16 @@ func Decode(b []byte) (network.Message, error) {
 // a differently-configured or hostile peer fail the decode instead of
 // crashing a protocol state machine on an out-of-range identifier.
 func DecodeFor(b []byte, nodes, resources int) (network.Message, error) {
+	return DecodeStream(b, nodes, resources, nil)
+}
+
+// DecodeStream is DecodeFor under a per-connection codec context — the
+// decode-side dual of AppendStream. The connection loop owns the
+// Stream and passes it for every frame of the connection; stateful
+// codecs find their caches there.
+func DecodeStream(b []byte, nodes, resources int, strm *Stream) (network.Message, error) {
 	d := NewDecFor(b, nodes, resources)
+	d.strm = strm
 	kind := d.String()
 	if d.err != nil {
 		return nil, d.err

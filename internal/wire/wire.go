@@ -23,10 +23,70 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"mralloc/internal/network"
 	"mralloc/internal/resource"
 )
+
+// Stream carries per-connection codec state across frames: which
+// stream-control features (batch.go) are active, plus whatever
+// per-kind state a codec keeps for the life of the connection — the
+// token delta caches of internal/core live here. One Stream serves one
+// direction of one connection; encoding through a shared Stream from
+// concurrent senders is safe (codecs guard their own state), decoding
+// is single-goroutine per connection by construction.
+//
+// A nil *Stream is valid everywhere and means "no per-stream state":
+// Append/Decode without a Stream produce exactly the legacy encoding.
+type Stream struct {
+	mu    sync.Mutex
+	flags uint64
+	vals  map[any]any
+}
+
+// NewStream returns an empty per-connection codec context.
+func NewStream() *Stream { return &Stream{} }
+
+// SetFlag activates a stream-control feature (codes < 64, see the
+// Ctrl* constants). The egress side sets it when it announces the
+// control; the ingress side sets it from FrameReader's OnControl.
+func (s *Stream) SetFlag(code uint64) {
+	s.mu.Lock()
+	if code < 64 {
+		s.flags |= 1 << code
+	}
+	s.mu.Unlock()
+}
+
+// HasFlag reports whether a stream-control feature is active. Safe on
+// a nil Stream (always false).
+func (s *Stream) HasFlag(code uint64) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return code < 64 && s.flags&(1<<code) != 0
+}
+
+// Value returns the stream's state under key, creating it with mk on
+// first use (atomically — concurrent callers observe one instance).
+// Codecs key with unexported struct types, so streams stay opaque
+// across packages.
+func (s *Stream) Value(key any, mk func() any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vals == nil {
+		s.vals = make(map[any]any)
+	}
+	v, ok := s.vals[key]
+	if !ok {
+		v = mk()
+		s.vals[key] = v
+	}
+	return v
+}
 
 // MaxUniverse bounds the resource-universe size a decoded set may
 // declare. It is far above any configuration this repository runs and
@@ -36,8 +96,13 @@ const MaxUniverse = 1 << 20
 // Enc is an append-only binary encoder. The zero value is ready to use;
 // Bytes returns the accumulated buffer.
 type Enc struct {
-	buf []byte
+	buf  []byte
+	strm *Stream // per-connection codec state; nil off-stream
 }
+
+// Stream reports the per-connection codec context this encode runs
+// under (nil when encoding outside a connection, e.g. samples/tools).
+func (e *Enc) Stream() *Stream { return e.strm }
 
 // Bytes returns the encoded buffer.
 func (e *Enc) Bytes() []byte { return e.buf }
@@ -120,7 +185,13 @@ type Dec struct {
 	// peer configured with a different shape then fails decoding
 	// instead of crashing a protocol state machine on a bad index.
 	nodes, resources int
+
+	strm *Stream // per-connection codec state; nil off-stream
 }
+
+// Stream reports the per-connection codec context this decode runs
+// under (nil when decoding outside a connection).
+func (d *Dec) Stream() *Stream { return d.strm }
 
 // NewDec starts decoding b. The decoder does not copy b; decoded
 // messages may alias it, so callers must not reuse the buffer until the
@@ -302,15 +373,23 @@ func (d *Dec) Count() int {
 
 // Nodes reads a slice of node identifiers; nil when empty. Entries are
 // read as sites (visited lists and queues never carry None).
-func (d *Dec) Nodes() []network.NodeID {
+func (d *Dec) Nodes() []network.NodeID { return d.NodesPad(0) }
+
+// NodesPad is Nodes with pad extra slots of capacity. Decoders use it
+// when the consumer is entitled to extend the slice in place — a
+// wire-decoded message is exclusively owned by its receiver, and the
+// headroom turns the extension into a zero-allocation append (see
+// core's visited-set ownership rule). The padding is charged against
+// the allocation budget like the elements themselves.
+func (d *Dec) NodesPad(pad int) []network.NodeID {
 	n := d.Count()
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	if !d.charge(8 * n) {
+	if !d.charge(8 * (n + pad)) {
 		return nil
 	}
-	out := make([]network.NodeID, n)
+	out := make([]network.NodeID, n, n+pad)
 	for i := range out {
 		out[i] = d.Site()
 	}
