@@ -3,6 +3,7 @@ package mralloc
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"mralloc/internal/alg"
@@ -65,10 +66,16 @@ type ClusterConfig struct {
 
 	// Policy orders each node's admission queue when concurrent
 	// sessions multiplex onto it (default PolicyFIFO).
+	//
+	// Deprecated: pass WithPolicy to NewCluster instead; the option
+	// wins when both are given. Kept so existing callers build.
 	Policy Policy
 	// AgingThreshold is the wait after which a queued request is
 	// admitted in arrival order regardless of policy — the starvation
 	// bound. Zero selects a sane default (500ms).
+	//
+	// Deprecated: pass WithAging to NewCluster instead; the option
+	// wins when both are given. Kept so existing callers build.
 	AgingThreshold time.Duration
 
 	// Peers switches the cluster to multi-process mode: Peers[i] is the
@@ -88,6 +95,70 @@ type ClusterConfig struct {
 	Listen string
 }
 
+// WireConfig tunes the peer wire path of a multi-process cluster —
+// the knobs each connection's hello exchange then negotiates down to
+// what both ends support. The zero value selects the defaults (delta
+// off, vectored writes, hello on, default receive window). In-process
+// clusters have no wire and ignore it.
+type WireConfig struct {
+	// Delta delta-encodes token state against the per-peer baseline.
+	Delta bool
+	// NoVectored disables writev egress for batched frames.
+	NoVectored bool
+	// FlushDelay is the egress micro-delay before each flush;
+	// FlushDelayMax above it enables the adaptive scheduler.
+	FlushDelay    time.Duration
+	FlushDelayMax time.Duration
+	// Window is the receive window announced to peers, in bytes: how
+	// much a peer may have in flight before waiting for credit. Zero
+	// selects the transport default, negative disables crediting.
+	Window int64
+	// NoHello suppresses the connection hello on dialed links,
+	// mimicking a pre-negotiation build (testing/interop only).
+	NoHello bool
+}
+
+// Option customizes NewCluster beyond the core shape in ClusterConfig.
+type Option func(*clusterOptions)
+
+type clusterOptions struct {
+	policy     Policy
+	havePolicy bool
+	aging      time.Duration
+	haveAging  bool
+	wire       WireConfig
+	haveWire   bool
+	window     int64
+	haveWindow bool
+}
+
+// WithPolicy selects the admission-scheduling policy (PolicyFIFO,
+// PolicySSF, PolicyEDF), overriding ClusterConfig.Policy.
+func WithPolicy(p Policy) Option {
+	return func(o *clusterOptions) { o.policy = p; o.havePolicy = true }
+}
+
+// WithAging sets the starvation bound: the wait after which a queued
+// request is admitted in arrival order regardless of policy. Overrides
+// ClusterConfig.AgingThreshold.
+func WithAging(d time.Duration) Option {
+	return func(o *clusterOptions) { o.aging = d; o.haveAging = true }
+}
+
+// WithWire tunes the peer wire path of a multi-process cluster; see
+// WireConfig. Later options override earlier ones field-wise only for
+// WithWindow — a second WithWire replaces the whole config.
+func WithWire(w WireConfig) Option {
+	return func(o *clusterOptions) { o.wire = w; o.haveWire = true }
+}
+
+// WithWindow sets just the announced receive window (bytes a peer may
+// have in flight before waiting for credit) on top of whatever WithWire
+// configured: zero the default, negative disables crediting.
+func WithWindow(bytes int64) Option {
+	return func(o *clusterOptions) { o.window = bytes; o.haveWindow = true }
+}
+
 // Cluster is a running in-process multi-resource lock manager. All
 // methods are safe for concurrent use.
 type Cluster struct {
@@ -101,26 +172,58 @@ type LoanStats struct {
 	Asked, Granted, Returned int
 }
 
-// NewCluster starts a cluster of protocol nodes.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	opt, ok := coreOptions(cfg.Algorithm)
+// NewCluster starts a cluster of protocol nodes. ClusterConfig gives
+// the core shape (nodes, resources, algorithm, deployment); everything
+// else — admission policy, aging, wire tuning — is a functional option
+// (WithPolicy, WithAging, WithWire, WithWindow). The deprecated
+// ClusterConfig tuning fields still work and options override them, so
+// pre-option callers build and behave unchanged.
+func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
+	var o clusterOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	copt, ok := coreOptions(cfg.Algorithm)
 	if !ok {
 		return nil, fmt.Errorf("mralloc: algorithm %q not supported for live clusters", cfg.Algorithm)
 	}
 	if cfg.LoanThreshold > 0 {
-		opt.Loan = true
-		opt.LoanThreshold = cfg.LoanThreshold
+		copt.Loan = true
+		copt.LoanThreshold = cfg.LoanThreshold
 	}
-	policy, err := serve.ParsePolicy(string(cfg.Policy))
+	pol := cfg.Policy
+	if o.havePolicy {
+		pol = o.policy
+	}
+	policy, err := serve.ParsePolicy(string(pol))
 	if err != nil {
 		return nil, fmt.Errorf("mralloc: %w", err)
+	}
+	aging := cfg.AgingThreshold
+	if o.haveAging {
+		aging = o.aging
+	}
+	wire := transport.WireOptions{
+		Delta:         o.wire.Delta,
+		NoVectored:    o.wire.NoVectored,
+		FlushDelay:    o.wire.FlushDelay,
+		FlushDelayMax: o.wire.FlushDelayMax,
+		Window:        o.wire.Window,
+		NoHello:       o.wire.NoHello,
+	}
+	if o.haveWindow {
+		wire.Window = o.window
+	}
+	if (o.haveWire || o.haveWindow) && len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("mralloc: wire options apply to multi-process clusters only")
 	}
 	lcfg := live.Config{
 		Nodes:     cfg.Nodes,
 		Resources: cfg.Resources,
 		Latency:   cfg.Latency,
 		Policy:    policy,
-		Aging:     cfg.AgingThreshold,
+		Aging:     aging,
+		Wire:      wire,
 	}
 	if len(cfg.Peers) > 0 {
 		if len(cfg.Peers) != cfg.Nodes {
@@ -149,7 +252,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		lcfg.Transport = tr
 		lcfg.Local = cfg.Local
 	}
-	inner, err := live.New(lcfg, core.NewFactory(opt))
+	inner, err := live.New(lcfg, core.NewFactory(copt))
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +287,51 @@ func (c *Cluster) LoanStats() LoanStats {
 // cluster's Policy. Long-lived clients should hold a Session instead.
 func (c *Cluster) Acquire(ctx context.Context, node int, resources ...int) (func(), error) {
 	return c.inner.Acquire(ctx, node, resources...)
+}
+
+// AcquireAll acquires every listed set in one call, all-or-nothing:
+// either the returned release function hands back every set (call it
+// exactly once; idempotent), or nothing stays held and the error names
+// the set that failed.
+//
+// The protocol admits one critical section per node at a time (the
+// paper's hypothesis 4), so the sets are spread over distinct hosted
+// nodes — set i lands on the i-th hosted node, acquired in ascending
+// node order so concurrent batches cannot deadlock one another — and a
+// batch of more sets than this process hosts nodes is refused. The
+// client wire protocol carries the same shape in one frame
+// (serve.Client.AcquireAll).
+func (c *Cluster) AcquireAll(ctx context.Context, sets ...[]int) (func(), error) {
+	if len(sets) == 0 {
+		return func() {}, nil
+	}
+	var hosted []int
+	for id := 0; id < c.inner.N(); id++ {
+		if c.inner.Local(id) {
+			hosted = append(hosted, id)
+		}
+	}
+	if len(sets) > len(hosted) {
+		return nil, fmt.Errorf(
+			"mralloc: batch of %d sets exceeds the %d hosted nodes (one critical section per node)",
+			len(sets), len(hosted))
+	}
+	releases := make([]func(), 0, len(sets))
+	unwind := func() {
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}
+	for i, set := range sets {
+		release, err := c.inner.Acquire(ctx, hosted[i], set...)
+		if err != nil {
+			unwind()
+			return nil, fmt.Errorf("mralloc: set %d: %w", i, err)
+		}
+		releases = append(releases, release)
+	}
+	var once sync.Once
+	return func() { once.Do(unwind) }, nil
 }
 
 // AcquireOpts parameterizes Session.AcquireWith.

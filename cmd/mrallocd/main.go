@@ -70,6 +70,9 @@ type daemonConfig struct {
 	pprofAddr        string
 	wireDelta        bool
 	wireWritev       bool
+	wireHello        bool
+	wireWindow       int64
+	egressBudget     int64
 	flushDelay       time.Duration
 	flushDelayMax    time.Duration
 }
@@ -89,6 +92,9 @@ func main() {
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.BoolVar(&cfg.wireDelta, "wire-delta", true, "delta-encode token state on peer connections; every daemon of the cluster must run a delta-aware build (pass =false to interoperate with pre-delta peers)")
 	flag.BoolVar(&cfg.wireWritev, "wire-writev", true, "vectored (writev) egress for batched peer frames")
+	flag.BoolVar(&cfg.wireHello, "wire-hello", true, "send the connection hello on dialed peer links (negotiates features and flow-control windows; pass =false to mimic a pre-negotiation build)")
+	flag.Int64Var(&cfg.wireWindow, "wire-window", 0, "receive window in bytes announced to peers (0 = default, negative = disable crediting)")
+	flag.Int64Var(&cfg.egressBudget, "egress-budget", 0, "client-port response bytes queued per connection before the client is shed (0 = default, negative = unbounded)")
 	flag.DurationVar(&cfg.flushDelay, "flush-delay", 0, "egress micro-delay before each peer flush, trading bounded latency for bigger batches (0 = flush on wakeup)")
 	flag.DurationVar(&cfg.flushDelayMax, "flush-delay-max", 0, "> flush-delay enables adaptive widening of the flush delay under high fan-in")
 	flag.DurationVar(&cfg.linger, "linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
@@ -186,9 +192,11 @@ func run(cfg daemonConfig) error {
 		Transport: tr,
 		Local:     local,
 		Policy:    policy,
-		Wire: &transport.WireOptions{
+		Wire: transport.WireOptions{
 			Delta:         cfg.wireDelta,
 			NoVectored:    !cfg.wireWritev,
+			NoHello:       !cfg.wireHello,
+			Window:        cfg.wireWindow,
 			FlushDelay:    cfg.flushDelay,
 			FlushDelayMax: cfg.flushDelayMax,
 		},
@@ -202,12 +210,13 @@ func run(cfg daemonConfig) error {
 
 	if cfg.clientListen != "" {
 		srv, err := serve.NewServer(serve.ServerConfig{
-			Listen:    cfg.clientListen,
-			Nodes:     nodes,
-			Resources: resources,
-			Local:     local,
-			MaxQueue:  cfg.maxQueue,
-			Open:      func(node int) (serve.BackendSession, error) { return cluster.NewSession(node) },
+			Listen:       cfg.clientListen,
+			Nodes:        nodes,
+			Resources:    resources,
+			Local:        local,
+			MaxQueue:     cfg.maxQueue,
+			EgressBudget: cfg.egressBudget,
+			Open:         func(node int) (serve.BackendSession, error) { return cluster.NewSession(node) },
 		})
 		if err != nil {
 			return err

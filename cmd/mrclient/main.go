@@ -31,7 +31,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8000", "client port of a mrallocd daemon")
 		sessions = flag.Int("sessions", 8, "concurrent sessions to multiplex on the connection")
 		ops      = flag.Int("ops", 10, "acquire/release cycles per session")
-		m        = flag.Int("resources", 16, "resource universe size M of the cluster")
+		m        = flag.Int("resources", 0, "resource universe size M of the cluster (0 = learn it from the daemon's hello)")
 		phi      = flag.Int("phi", 3, "maximum resources per request")
 		node     = flag.Int("node", serve.AnyNode, "target node id (-1 = daemon picks round-robin)")
 		think    = flag.Duration("think", time.Millisecond, "mean pause between a session's requests")
@@ -47,14 +47,26 @@ func main() {
 }
 
 func run(addr string, sessions, ops, m, phi, node int, think, hold, timeout time.Duration, seed int64) error {
-	if phi < 1 || phi > m {
-		return fmt.Errorf("-phi %d outside [1, %d]", phi, m)
-	}
 	cl, err := serve.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	if m == 0 {
+		// The daemon's hello reply carries the cluster shape, so a
+		// client needs no out-of-band M.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		nodes, resources, err := cl.Shape(ctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("learning cluster shape (pass -resources to skip): %w", err)
+		}
+		m = resources
+		fmt.Printf("mrclient: daemon announced N=%d M=%d\n", nodes, m)
+	}
+	if phi < 1 || phi > m {
+		return fmt.Errorf("-phi %d outside [1, %d]", phi, m)
+	}
 
 	var mu sync.Mutex
 	var wait metrics.Accum

@@ -328,6 +328,7 @@ func Grid() []Scenario {
 	out = append(out, LiveGrid()...)
 	out = append(out, TCPLoopGrid()...)
 	out = append(out, LargeNGrid()...)
+	out = append(out, BackpressureGrid()...)
 	return out
 }
 

@@ -212,3 +212,37 @@ func TestServeGridScales(t *testing.T) {
 		t.Errorf("p99 wait did not grow under 64× multiplexing: %v vs %v", many.Waiting.P99, one.Waiting.P99)
 	}
 }
+
+// TestHeteroLoopbackSmoke runs the heterogeneous-feature twin once:
+// mixed builds must negotiate per-link feature subsets and still move
+// real traffic with sane wire-path columns.
+func TestHeteroLoopbackSmoke(t *testing.T) {
+	var s Scenario
+	for _, c := range TCPLoopGrid() {
+		if strings.HasSuffix(c.Name, "/hetero") {
+			s = c
+			break
+		}
+	}
+	if s.Run == nil {
+		t.Fatal("no hetero tcploop scenario in the grid")
+	}
+	r := Measure(s)
+	if r.WritesPerOp <= 0 || r.WireBytesPerOp <= 0 || r.MsgPerCS <= 0 {
+		t.Fatalf("hetero cell produced no wire traffic: %+v", r)
+	}
+}
+
+// TestBackpressureSmoke runs the stalled-peer cell once: the scenario
+// itself fails if the coalescer queue ever exceeds the byte budget, so
+// a passing run is the bounded-memory proof.
+func TestBackpressureSmoke(t *testing.T) {
+	grid := BackpressureGrid()
+	if len(grid) == 0 {
+		t.Fatal("empty backpressure grid")
+	}
+	r := Measure(grid[0])
+	if r.WritesPerOp <= 0 || r.WireBytesPerOp <= 0 {
+		t.Fatalf("backpressure cell recorded no writes: %+v", r)
+	}
+}

@@ -76,7 +76,7 @@ func startLargeNCell(b *testing.B, nodes int, wireOpts transport.WireOptions) *l
 			Resources: largeNM,
 			Transport: cell.trs[d],
 			Local:     locals[d],
-			Wire:      &wireOpts,
+			Wire:      wireOpts,
 		}, core.NewFactory(core.WithLoan()))
 		if err != nil {
 			b.Fatal(err)

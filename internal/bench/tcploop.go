@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mralloc/internal/core"
 	"mralloc/internal/live"
@@ -40,7 +41,7 @@ type tcpLoopCell struct {
 	clients  []*serve.Client
 }
 
-func startTCPLoopCell(b *testing.B, nodes int, batching bool) *tcpLoopCell {
+func startTCPLoopCell(b *testing.B, nodes int, batching bool, wireFor func(d int) transport.WireOptions) *tcpLoopCell {
 	b.Helper()
 	half := nodes / 2
 	locals := [2][]int{}
@@ -59,6 +60,9 @@ func startTCPLoopCell(b *testing.B, nodes int, batching bool) *tcpLoopCell {
 			b.Fatal(err)
 		}
 		tr.SetBatching(batching)
+		if wireFor != nil {
+			tr.Tune(wireFor(d))
+		}
 		cell.trs = append(cell.trs, tr)
 		for _, id := range locals[d] {
 			addrs[id] = tr.Addr()
@@ -149,10 +153,33 @@ func tcpLoopScenario(nodes, sessions int, batching bool) Scenario {
 	if batching {
 		tag = "batch"
 	}
+	return tcpLoopWireScenario(nodes, sessions, batching, tag, nil)
+}
+
+// tcpLoopHeteroScenario is the heterogeneous-feature twin: daemon 0 a
+// full-featured build (delta tokens, adaptive flush), daemon 1 a
+// feature-disabled build (no delta, no writev). Every cross-daemon
+// link negotiates down to the common subset in its hello exchange; the
+// columns pin what the mixture costs next to the homogeneous batch
+// cell on identical workload.
+func tcpLoopHeteroScenario(nodes, sessions int) Scenario {
+	return tcpLoopWireScenario(nodes, sessions, true, "hetero", func(d int) transport.WireOptions {
+		if d == 0 {
+			return transport.WireOptions{
+				Delta:         true,
+				FlushDelay:    50 * time.Microsecond,
+				FlushDelayMax: 2 * time.Millisecond,
+			}
+		}
+		return transport.WireOptions{NoVectored: true}
+	})
+}
+
+func tcpLoopWireScenario(nodes, sessions int, batching bool, tag string, wireFor func(d int) transport.WireOptions) Scenario {
 	s := Scenario{Name: fmt.Sprintf("tcploop/n%d/s%d/%s", nodes, sessions, tag)}
 	var lastHist string
 	s.Run = func(b *testing.B) {
-		cell := startTCPLoopCell(b, nodes, batching)
+		cell := startTCPLoopCell(b, nodes, batching, wireFor)
 		defer cell.close()
 		ctx := context.Background()
 		b.ReportAllocs()
@@ -217,7 +244,9 @@ func tcpLoopScenario(nodes, sessions int, batching bool) Scenario {
 
 // TCPLoopGrid is the tcp-loopback tier: 4 nodes split across two
 // daemons, a light and a heavy sessions count, each with batching on
-// and off so BENCH_*.json pins the before/after on identical traffic.
+// and off so BENCH_*.json pins the before/after on identical traffic,
+// plus the heterogeneous-feature twin (mixed builds negotiating the
+// common feature subset per link).
 func TCPLoopGrid() []Scenario {
 	var out []Scenario
 	for _, sessions := range []int{8, 32} {
@@ -225,5 +254,6 @@ func TCPLoopGrid() []Scenario {
 			out = append(out, tcpLoopScenario(4, sessions, batching))
 		}
 	}
+	out = append(out, tcpLoopHeteroScenario(4, 8))
 	return out
 }

@@ -68,12 +68,14 @@ type Config struct {
 	// threshold (serve.DefaultAging when zero).
 	Policy serve.Policy
 	Aging  time.Duration
-	// Wire, when non-nil, tunes the egress wire path of a tunable
-	// Transport (transport.WireTuner — the TCP fabric): delta-encoded
-	// token state, vectored writes, flush scheduling. Fabrics without
-	// the knobs (Mem) ignore it. Applied before any node attaches, so
-	// it covers every connection the cluster dials.
-	Wire *transport.WireOptions
+	// Wire tunes the egress wire path of a tunable Transport
+	// (transport.WireTuner — the TCP fabric): delta-encoded token
+	// state, vectored writes, flush scheduling, handshake and window
+	// knobs. Fabrics without the knobs (Mem) ignore it. Applied before
+	// any node attaches, so it covers every connection the cluster
+	// dials; the zero value leaves the transport exactly as handed in,
+	// so pre-tuned endpoints keep their settings.
+	Wire transport.WireOptions
 }
 
 // Cluster is a set of running protocol nodes — all of them in the
@@ -152,9 +154,9 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 	if sv, ok := tr.(transport.ShapeValidator); ok {
 		sv.SetShape(cfg.Nodes, cfg.Resources)
 	}
-	if cfg.Wire != nil {
+	if cfg.Wire != (transport.WireOptions{}) {
 		if wt, ok := tr.(transport.WireTuner); ok {
-			wt.Tune(*cfg.Wire)
+			wt.Tune(cfg.Wire)
 		}
 	}
 	nodes := factory(cfg.Nodes, cfg.Resources)

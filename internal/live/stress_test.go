@@ -74,14 +74,36 @@ func tcpFabric() fabric { return tcpWireFabric("tcp", nil) }
 // delay — the invariant battery must hold bit-exact protocol behavior
 // under all of them.
 func tcpDeltaFabric() fabric {
-	return tcpWireFabric("tcp-delta", &transport.WireOptions{
-		Delta:         true,
-		FlushDelay:    50 * time.Microsecond,
-		FlushDelayMax: 2 * time.Millisecond,
+	return tcpWireFabric("tcp-delta", func(int) transport.WireOptions {
+		return transport.WireOptions{
+			Delta:         true,
+			FlushDelay:    50 * time.Microsecond,
+			FlushDelayMax: 2 * time.Millisecond,
+		}
 	})
 }
 
-func tcpWireFabric(name string, wire *transport.WireOptions) fabric {
+// tcpHeteroFabric mixes builds: even nodes run the full feature set
+// (delta, vectored egress, adaptive flush), odd nodes a feature-
+// disabled build. Every cross-parity link must negotiate down to the
+// common subset in its hello exchange, and the invariant battery must
+// hold over the mixture.
+func tcpHeteroFabric() fabric {
+	return tcpWireFabric("tcp-hetero", func(i int) transport.WireOptions {
+		if i%2 == 0 {
+			return transport.WireOptions{
+				Delta:         true,
+				FlushDelay:    50 * time.Microsecond,
+				FlushDelayMax: 2 * time.Millisecond,
+			}
+		}
+		return transport.WireOptions{NoVectored: true}
+	})
+}
+
+// tcpWireFabric builds the per-node TCP topology with wireFor(i)
+// tuning node i's endpoint (nil leaves every endpoint at defaults).
+func tcpWireFabric(name string, wireFor func(i int) transport.WireOptions) fabric {
 	return fabric{name: name, buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
 		trs := make([]*transport.TCP, n)
 		addrs := make([]string, n)
@@ -97,6 +119,10 @@ func tcpWireFabric(name string, wire *transport.WireOptions) fabric {
 		for i := range cs {
 			if err := trs[i].Connect(addrs); err != nil {
 				t.Fatal(err)
+			}
+			var wire transport.WireOptions
+			if wireFor != nil {
+				wire = wireFor(i)
 			}
 			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}, Policy: p, Aging: aging, Wire: wire}, f)
 			if err != nil {
@@ -136,7 +162,7 @@ func tcpWireFabric(name string, wire *transport.WireOptions) fabric {
 // the in-process and the TCP-loopback fabric.
 func TestVerifiedStress(t *testing.T) {
 	for algName, factory := range liveAlgorithms() {
-		for _, fb := range []fabric{memFabric(), tcpFabric(), tcpDeltaFabric()} {
+		for _, fb := range []fabric{memFabric(), tcpFabric(), tcpDeltaFabric(), tcpHeteroFabric()} {
 			factory, fb := factory, fb
 			t.Run(algName+"/"+fb.name, func(t *testing.T) {
 				t.Parallel()

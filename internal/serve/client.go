@@ -33,6 +33,11 @@ type Client struct {
 	c  net.Conn
 	co *wire.Coalescer // request egress
 
+	// helloed closes when the daemon's hello reply lands; hello then
+	// holds the announced cluster shape and features (see Shape).
+	helloed chan struct{}
+	hello   wire.Hello
+
 	mu      sync.Mutex
 	next    uint64
 	pending map[uint64]*clientPending
@@ -50,22 +55,58 @@ type clientResult struct {
 	code    DenyCode
 }
 
-// Dial connects to a daemon's client port.
+// Dial connects to a daemon's client port and opens negotiation: the
+// client's hello goes out before any request, and the daemon's reply
+// carries the cluster shape (see Shape) — a client needs no
+// out-of-band N or M. Dial does not wait for the reply; requests may
+// flow immediately.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
 	}
+	// Raw write, ahead of the coalescer's first flush: the hello must
+	// precede every frame, and nothing else is writing yet.
+	mine := wire.Hello{Version: wire.ProtoVersion, Features: wire.FeatWritev}
+	hello := wire.AppendControl(nil, wire.CtrlHello, wire.AppendHello(nil, mine))
+	if _, err := nc.Write(hello); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("serve: hello to %s: %w", addr, err)
+	}
 	c := &Client{
 		c:       nc,
+		helloed: make(chan struct{}),
 		pending: make(map[uint64]*clientPending),
 		closed:  make(chan struct{}),
 	}
 	c.co = wire.NewCoalescer(nc, 0, func(err error) {
 		c.fail(fmt.Errorf("serve: write: %w", err))
 	})
+	// Byte-bounded egress: a stalled daemon costs blocked Acquires and
+	// at most this much queued request memory, never an OOM.
+	c.co.SetByteBudget(clientEgressBudget)
 	go c.readLoop()
 	return c, nil
+}
+
+// clientEgressBudget bounds the request bytes a Client queues for a
+// daemon that has stopped reading.
+const clientEgressBudget = 4 << 20
+
+// Shape reports the cluster shape (N nodes, M resources) the daemon
+// announced in its hello reply, blocking until the reply lands, ctx
+// ends, or the connection fails.
+func (c *Client) Shape(ctx context.Context) (nodes, resources int, err error) {
+	select {
+	case <-c.helloed:
+		return c.hello.Nodes, c.hello.Resources, nil
+	case <-ctx.Done():
+		return 0, 0, ctx.Err()
+	case <-c.closed:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return 0, 0, c.err
+	}
 }
 
 // Close drops the connection. The daemon withdraws every pending
@@ -187,8 +228,145 @@ func (c *Client) AcquireWith(ctx context.Context, node int, opts AcquireOpts) (f
 	}
 }
 
+// AcquireAll batches many acquisitions into one request frame — one
+// round trip admits them all, where a loop of Acquires pays a round
+// trip each. The acquisition is all-or-nothing: on any denial, context
+// end, or connection failure the already-granted sets are handed back
+// and the error returned. On success the returned release function
+// hands back every set (call exactly once; idempotent).
+//
+// The protocol admits at most one critical section per node at a time
+// (the paper's hypothesis 4), so a batch can hold all its sets at once
+// only when every set lands on a distinct node. Pass AnyNode and the
+// daemon spreads the batch over its hosted nodes, acquiring in
+// ascending node order so concurrent batches cannot deadlock; a batch
+// of more sets than the daemon hosts nodes is denied. A specific node
+// admits only single-set batches — multi-set explicit-node batches are
+// refused here, before any bytes move.
+func (c *Client) AcquireAll(ctx context.Context, node int, sets ...[]int) (func(), error) {
+	if node != AnyNode && node < 0 {
+		return nil, fmt.Errorf("serve: bad node %d", node)
+	}
+	if node != AnyNode && len(sets) > 1 {
+		return nil, fmt.Errorf(
+			"serve: a %d-set batch cannot target one node (one critical section per node); use AnyNode",
+			len(sets))
+	}
+	if len(sets) == 0 {
+		return func() {}, nil
+	}
+	msg := ClientAcquireAll{Node: network.NodeID(node)}
+	msg.Sets = make([][]int64, len(sets))
+	for i, set := range sets {
+		msg.Sets[i] = make([]int64, len(set))
+		for j, r := range set {
+			msg.Sets[i][j] = int64(r)
+		}
+	}
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		msg.DeadlineMS = ms
+	}
+
+	// Reserve len(sets) consecutive request ids: sub-request i answers
+	// to base+i, and each is tracked like a standalone Acquire.
+	k := len(sets)
+	waiters := make([]*clientPending, k)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	base := c.next + 1
+	c.next += uint64(k)
+	for i := range waiters {
+		waiters[i] = &clientPending{ch: make(chan clientResult, 1)}
+		c.pending[base+uint64(i)] = waiters[i]
+	}
+	c.mu.Unlock()
+	msg.Req = base
+
+	// unwind releases or withdraws sub-request i — the all-or-nothing
+	// cleanup for grants landed before a failure.
+	unwind := func(i int) {
+		id := base + uint64(i)
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.send(ClientRelease{Req: id})
+	}
+	if err := c.send(msg); err != nil {
+		c.mu.Lock()
+		for i := range waiters {
+			delete(c.pending, base+uint64(i))
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	for i, p := range waiters {
+		select {
+		case res := <-p.ch:
+			if res.granted {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if j != i {
+					unwind(j)
+				}
+			}
+			if res.code == DenyOverloaded {
+				return nil, fmt.Errorf("serve: denied set %d: %s: %w", i, res.reason, ErrOverloaded)
+			}
+			return nil, fmt.Errorf("serve: denied set %d: %s", i, res.reason)
+		case <-ctx.Done():
+			for j := 0; j < k; j++ {
+				unwind(j)
+			}
+			return nil, ctx.Err()
+		case <-c.closed:
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := 0; i < k; i++ {
+				c.send(ClientRelease{Req: base + uint64(i)})
+			}
+		})
+	}, nil
+}
+
 func (c *Client) readLoop() {
 	fr := wire.NewFrameReader(c.c, maxClientFrame)
+	fr.OnControl(func(code uint64, payload []byte) error {
+		switch code {
+		case wire.CtrlHello:
+			h, err := wire.ParseHello(payload)
+			if err != nil {
+				return err
+			}
+			select {
+			case <-c.helloed: // duplicate reply: keep the first
+			default:
+				c.hello = h
+				close(c.helloed)
+			}
+			return nil
+		case wire.CtrlReject:
+			reason, _ := wire.ParseReject(payload)
+			return fmt.Errorf("daemon rejected handshake: %s", reason)
+		default:
+			return wire.ErrUnknownControl // forward compat: skip and count
+		}
+	})
 	for {
 		frame, err := fr.Next()
 		if err != nil {

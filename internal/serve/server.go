@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,15 @@ const maxClientFrame = 1 << 20
 // closeFlushTimeout bounds how long a connection teardown waits for
 // its coalescing writer to drain queued responses.
 const closeFlushTimeout = 2 * time.Second
+
+// DefaultEgressBudget bounds the response bytes queued for one client
+// connection. A client that stops reading its responses is shed (its
+// connection closed, everything it held handed back) once the queue
+// crosses the budget — the client port's half of byte-bounded
+// backpressure, analogous to the peer transport's credit window but
+// without the reverse-path crediting a second stream writer would
+// need.
+const DefaultEgressBudget = 4 << 20
 
 // ServerConfig sizes a client-port server.
 type ServerConfig struct {
@@ -56,6 +66,12 @@ type ServerConfig struct {
 	// wire.Coalescer.SetFlushAdaptive).
 	FlushDelay    time.Duration
 	FlushDelayMax time.Duration
+	// EgressBudget bounds the response bytes queued for one client
+	// connection; a client not draining them past the bound is shed
+	// (connection closed, grants returned). Zero selects
+	// DefaultEgressBudget; negative disables the bound (the
+	// pre-backpressure behavior).
+	EgressBudget int64
 }
 
 // Server is one daemon's client port: it accepts connections from
@@ -265,11 +281,52 @@ func (s *Server) serve(nc net.Conn) {
 
 func (cn *conn) readLoop() {
 	fr := wire.NewFrameReader(cn.c, maxClientFrame)
+	// Negotiation: a hello before the first frame is answered with this
+	// daemon's hello — protocol version, cluster shape (how a client
+	// learns N and M without out-of-band config) and feature bits. A
+	// legacy client that never sends one is served exactly as before,
+	// and is never sent a control it could not parse: the reply below
+	// is the only control this side ever writes, strictly in response.
+	// Writing it raw here is safe — hello precedes every request, so
+	// the response coalescer has never been touched yet.
+	var frames, helloed bool
+	fr.OnControl(func(code uint64, payload []byte) error {
+		switch code {
+		case wire.CtrlHello:
+			if frames || helloed {
+				return fmt.Errorf("hello mid-stream")
+			}
+			peer, err := wire.ParseHello(payload)
+			if err != nil {
+				return err
+			}
+			if err := cn.s.checkClient(peer); err != nil {
+				reject := wire.AppendReject(nil, err.Error())
+				cn.c.Write(wire.AppendControl(nil, wire.CtrlReject, reject))
+				return err
+			}
+			mine := wire.Hello{
+				Version:   wire.ProtoVersion,
+				Nodes:     cn.s.cfg.Nodes,
+				Resources: cn.s.cfg.Resources,
+				Features:  wire.FeatWritev,
+			}
+			reply := wire.AppendControl(nil, wire.CtrlHello, wire.AppendHello(nil, mine))
+			if _, err := cn.c.Write(reply); err != nil {
+				return fmt.Errorf("hello reply: %w", err)
+			}
+			helloed = true
+			return nil
+		default:
+			return wire.ErrUnknownControl // forward compat: skip and count
+		}
+	})
 	for {
 		frame, err := fr.Next()
 		if err != nil {
 			return
 		}
+		frames = true
 		m, err := wire.DecodeFor(frame, cn.s.cfg.Nodes, cn.s.cfg.Resources)
 		if err != nil {
 			return // malformed frame: kill the connection
@@ -279,12 +336,33 @@ func (cn *conn) readLoop() {
 			if !cn.handleAcquire(x) {
 				return // protocol violation: kill the connection
 			}
+		case ClientAcquireAll:
+			if !cn.handleAcquireAll(x) {
+				return
+			}
 		case ClientRelease:
 			cn.handleRelease(x.Req)
 		default:
 			return // a client must not send server-side kinds
 		}
 	}
+}
+
+// checkClient validates a client hello: the protocol version must
+// match, and any cluster shape the client claims to know must agree
+// with this daemon's (zero means unknown — the usual case, since
+// learning the shape is what the hello reply is for).
+func (s *Server) checkClient(peer wire.Hello) error {
+	if peer.Version != wire.ProtoVersion {
+		return fmt.Errorf("protocol version %d, want %d", peer.Version, wire.ProtoVersion)
+	}
+	if peer.Nodes != 0 && peer.Nodes != s.cfg.Nodes {
+		return fmt.Errorf("cluster of %d nodes, this daemon serves %d", peer.Nodes, s.cfg.Nodes)
+	}
+	if peer.Resources != 0 && peer.Resources != s.cfg.Resources {
+		return fmt.Errorf("resource universe of %d, this daemon serves %d", peer.Resources, s.cfg.Resources)
+	}
+	return nil
 }
 
 // handleAcquire admits one client request, reporting false when the
@@ -294,18 +372,109 @@ func (cn *conn) readLoop() {
 // id, which a conforming client must treat as that request's outcome,
 // stranding the real grant when it lands.
 func (cn *conn) handleAcquire(x ClientAcquire) bool {
+	run, ok := cn.admit(x)
+	if ok && run != nil {
+		cn.wg.Add(1)
+		go func() {
+			defer cn.wg.Done()
+			run()
+		}()
+	}
+	return ok
+}
+
+// handleAcquireAll admits a batch of acquisitions from one frame. The
+// paper's admission model (hypothesis 4) runs at most one critical
+// section per node at a time, so a batch can hold all its sets
+// concurrently only when every sub-request lands on a distinct node:
+// an explicit-node batch is limited to one set, and an AnyNode batch
+// spreads over the hosted nodes and is denied outright when it has
+// more sets than this daemon has nodes. Sub-requests acquire in
+// ascending node order on a single goroutine — every batch takes the
+// same order, so two concurrent batches cannot deadlock each other.
+func (cn *conn) handleAcquireAll(x ClientAcquireAll) bool {
+	k := len(x.Sets)
+	denyAll := func(code DenyCode, format string, args ...any) {
+		reason := fmt.Sprintf(format, args...)
+		for i := 0; i < k; i++ {
+			cn.send(ClientDeny{Req: x.Req + uint64(i), Reason: reason, Code: code})
+		}
+	}
+	if k == 0 {
+		cn.send(ClientDeny{Req: x.Req, Reason: "empty acquire batch"})
+		return true
+	}
+	var nodes []int
+	if x.Node == network.None {
+		local := cn.s.cfg.Local
+		if k > len(local) {
+			denyAll(DenyGeneric,
+				"batch of %d sets exceeds the %d hosted nodes (one critical section per node)",
+				k, len(local))
+			return true
+		}
+		base := int(cn.s.rr.Add(1) % uint64(len(local)))
+		nodes = make([]int, k)
+		for i := range nodes {
+			nodes[i] = local[(base+i)%len(local)]
+		}
+		sort.Ints(nodes)
+	} else {
+		if k > 1 {
+			denyAll(DenyGeneric,
+				"a %d-set batch cannot target one node (one critical section per node); omit the node to spread it",
+				k)
+			return true
+		}
+		nodes = []int{int(x.Node)}
+	}
+	runs := make([]func(), 0, k)
+	for i, set := range x.Sets {
+		sub := ClientAcquire{
+			Req:        x.Req + uint64(i),
+			Node:       network.NodeID(nodes[i]),
+			Resources:  set,
+			DeadlineMS: x.DeadlineMS,
+		}
+		run, ok := cn.admit(sub)
+		if !ok {
+			return false
+		}
+		if run != nil {
+			runs = append(runs, run)
+		}
+	}
+	if len(runs) == 0 {
+		return true
+	}
+	cn.wg.Add(1)
+	go func() {
+		defer cn.wg.Done()
+		for _, run := range runs {
+			run()
+		}
+	}()
+	return true
+}
+
+// admit validates and registers one request. ok reports whether the
+// connection may live on (false: protocol violation, kill it); run,
+// when non-nil, performs the blocking acquisition and sends the
+// response — the caller chooses the goroutine it runs on. A nil run
+// with ok means the request was already answered (denied).
+func (cn *conn) admit(x ClientAcquire) (run func(), ok bool) {
 	deny := func(format string, args ...any) {
 		cn.send(ClientDeny{Req: x.Req, Reason: fmt.Sprintf(format, args...)})
 	}
 	if len(x.Resources) == 0 {
 		deny("empty resource set")
-		return true
+		return nil, true
 	}
 	resources := make([]int, len(x.Resources))
 	for i, r := range x.Resources {
 		if r < 0 || r >= int64(cn.s.cfg.Resources) {
 			deny("no resource %d", r)
-			return true
+			return nil, true
 		}
 		resources[i] = int(r)
 	}
@@ -314,7 +483,7 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 		node = cn.s.cfg.Local[int(cn.s.rr.Add(1))%len(cn.s.cfg.Local)]
 	} else if !cn.s.hostsLocally(node) {
 		deny("node %d is not hosted by this daemon", node)
-		return true
+		return nil, true
 	}
 	// Backpressure: refuse rather than queue without bound. Increment
 	// first so concurrent arrivals cannot slip past the limit together.
@@ -326,7 +495,7 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 				Reason: fmt.Sprintf("node %d admission queue full (max %d)", node, max),
 				Code:   DenyOverloaded,
 			})
-			return true
+			return nil, true
 		}
 	} else {
 		cn.s.queued[node].Add(1)
@@ -343,7 +512,7 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 	if err != nil {
 		unqueue()
 		deny("%v", err)
-		return true
+		return nil, true
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &connReq{sess: sess, cancel: cancel}
@@ -353,22 +522,20 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 		unqueue()
 		cancel()
 		sess.Close()
-		return false // connection already torn down
+		return nil, false // connection already torn down
 	}
 	if _, dup := cn.reqs[x.Req]; dup {
 		cn.mu.Unlock()
 		unqueue()
 		cancel()
 		sess.Close()
-		return false // id reuse while in flight: unrecoverable ambiguity
+		return nil, false // id reuse while in flight: unrecoverable ambiguity
 	}
 	cn.reqs[x.Req] = r
 	cn.mu.Unlock()
 	cn.s.sessions.Add(1)
 
-	cn.wg.Add(1)
-	go func() {
-		defer cn.wg.Done()
+	return func() {
 		release, err := sess.Acquire(ctx, opts)
 		unqueue() // granted or failed: either way no longer waiting
 		cn.mu.Lock()
@@ -396,8 +563,7 @@ func (cn *conn) handleAcquire(x ClientAcquire) bool {
 		r.release = release
 		cn.mu.Unlock()
 		cn.send(ClientGrant{Req: x.Req})
-	}()
-	return true
+	}, true
 }
 
 func (cn *conn) handleRelease(req uint64) {
@@ -425,12 +591,34 @@ func (cn *conn) handleRelease(req uint64) {
 // writer; concurrent grant fan-outs coalesce into batch envelopes.
 // The frame is encoded straight into an owned pooled buffer the
 // writer writes from and releases — no copy between encode and flush.
+//
+// A client that stops draining responses is shed, not queued for
+// without bound: once the egress backlog crosses the budget the
+// connection is closed, which unwinds the read loop and hands every
+// grant back — the same outcome as the client crashing.
 func (cn *conn) send(m network.Message) {
+	if b := cn.s.egressBudget(); b > 0 && cn.co.QueuedBytes() > b {
+		cn.c.Close()
+		return
+	}
 	frame, err := wire.Append(wire.GetFrame(128)[:wire.FrameDataOff], m)
 	if err != nil {
 		panic(fmt.Sprintf("serve: encoding own message: %v", err))
 	}
 	cn.co.AppendOwned(frame, wire.FinishFrame(frame))
+}
+
+// egressBudget resolves ServerConfig.EgressBudget: zero selects the
+// default, negative disables the bound.
+func (s *Server) egressBudget() int64 {
+	switch b := s.cfg.EgressBudget; {
+	case b < 0:
+		return 0
+	case b == 0:
+		return DefaultEgressBudget
+	default:
+		return b
+	}
 }
 
 func (s *Server) hostsLocally(node int) bool {

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"bufio"
 	"errors"
 	"net"
 
@@ -441,4 +442,169 @@ func TestDuplicateRequestIDKillsConnection(t *testing.T) {
 		t.Fatalf("resource 0 stranded after the violating connection died: %v", err)
 	}
 	release()
+}
+
+// TestClientLearnsShape: the hello reply carries the cluster shape, so
+// a client needs no out-of-band N or M.
+func TestClientLearnsShape(t *testing.T) {
+	_, srv := startServer(t, 3, 7, serve.FIFO)
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	nodes, resources, err := cl.Shape(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes != 3 || resources != 7 {
+		t.Fatalf("learned shape %d/%d, want 3/7", nodes, resources)
+	}
+}
+
+// TestAcquireAllRoundTrip: one frame carries a batch of acquisitions
+// spread over distinct nodes (one critical section per node); the
+// combined release hands every set back.
+func TestAcquireAllRoundTrip(t *testing.T) {
+	_, srv := startServer(t, 3, 6, serve.FIFO)
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	release, err := cl.AcquireAll(ctx, serve.AnyNode, []int{0, 1}, []int{2}, []int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // idempotent
+	// Everything must be free again: re-acquire each set singly.
+	for _, set := range [][]int{{0, 1}, {2}, {3, 4, 5}} {
+		rel, err := cl.Acquire(ctx, serve.AnyNode, set...)
+		if err != nil {
+			t.Fatalf("set %v stranded after AcquireAll release: %v", set, err)
+		}
+		rel()
+	}
+}
+
+// TestAcquireAllPartialDeny: a batch with one bad set is all-or-
+// nothing — the good sets' grants are handed back, nothing stranded.
+func TestAcquireAllPartialDeny(t *testing.T) {
+	_, srv := startServer(t, 3, 4, serve.FIFO)
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = cl.AcquireAll(ctx, serve.AnyNode, []int{0}, []int{99}, []int{1})
+	if err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("bad set accepted: %v", err)
+	}
+	// The granted sets must have been handed back.
+	for _, r := range []int{0, 1} {
+		rel, err := cl.Acquire(ctx, serve.AnyNode, r)
+		if err != nil {
+			t.Fatalf("resource %d stranded after partial deny: %v", r, err)
+		}
+		rel()
+	}
+}
+
+// TestAcquireAllOverwideBatch: hypothesis 4 admits one critical
+// section per node, so batches that cannot hold their sets on distinct
+// nodes are refused — multi-set explicit-node batches before any bytes
+// move, over-wide AnyNode batches by the daemon, all-or-nothing.
+func TestAcquireAllOverwideBatch(t *testing.T) {
+	_, srv := startServer(t, 2, 4, serve.FIFO)
+	cl, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.AcquireAll(ctx, 0, []int{0}, []int{1}); err == nil ||
+		!strings.Contains(err.Error(), "one critical section per node") {
+		t.Fatalf("multi-set explicit-node batch accepted: %v", err)
+	}
+	// Three sets, two hosted nodes: denied, nothing stranded.
+	if _, err := cl.AcquireAll(ctx, serve.AnyNode, []int{0}, []int{1}, []int{2}); err == nil ||
+		!strings.Contains(err.Error(), "hosted nodes") {
+		t.Fatalf("over-wide batch accepted: %v", err)
+	}
+	for _, r := range []int{0, 1, 2} {
+		rel, err := cl.Acquire(ctx, serve.AnyNode, r)
+		if err != nil {
+			t.Fatalf("resource %d stranded after over-wide deny: %v", r, err)
+		}
+		rel()
+	}
+}
+
+// TestLegacyClientServed: a pre-negotiation client (no hello) is
+// served byte-for-byte as before — granted, and never sent a control
+// it could not parse.
+func TestLegacyClientServed(t *testing.T) {
+	_, srv := startServer(t, 1, 2, serve.FIFO)
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	payload, err := wire.Append(nil, serve.ClientAcquire{Req: 1, Node: 0, Resources: []int64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write(wire.AppendFrame(nil, payload)); err != nil {
+		t.Fatal(err)
+	}
+	fr := wire.NewFrameReader(nc, 1<<20)
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	frame, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := wire.Decode(frame); err != nil {
+		t.Fatal(err)
+	} else if g, ok := m.(serve.ClientGrant); !ok || g.Req != 1 {
+		t.Fatalf("expected grant, got %#v", m)
+	}
+	// The modern frame reader would silently skip a stray control; a
+	// real legacy reader would die on one. Assert none arrived.
+	if n := fr.SkippedControls(); n != 0 {
+		t.Fatalf("legacy connection received %d stream controls", n)
+	}
+}
+
+// TestClientPortRejectsBadVersion: a hello from an incompatible build
+// draws a CtrlReject naming the version, then the connection dies.
+func TestClientPortRejectsBadVersion(t *testing.T) {
+	_, srv := startServer(t, 1, 2, serve.FIFO)
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	h := wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion + 9})
+	if _, err := nc.Write(wire.AppendControl(nil, wire.CtrlHello, h)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	ctl, err := wire.ReadControl(bufio.NewReader(nc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Code != wire.CtrlReject {
+		t.Fatalf("got control %d, want CtrlReject", ctl.Code)
+	}
+	if reason, err := wire.ParseReject(ctl.Payload); err != nil || !strings.Contains(reason, "version") {
+		t.Fatalf("reject reason %q, %v", reason, err)
+	}
 }

@@ -87,6 +87,27 @@ func tcpPairedFactory(t *testing.T, n int) []transport.Transport {
 	return eps
 }
 
+// tcpHeteroFactory: the tcpPairedFactory topology with endpoint a
+// running every wire feature and endpoint b a feature-disabled build
+// (no delta, no writev) — negotiation must land each link on the
+// common subset while every transport guarantee still holds.
+func tcpHeteroFactory(t *testing.T, n int) []transport.Transport {
+	eps := tcpPairedFactory(t, n)
+	distinct := map[transport.Transport]bool{}
+	var uniq []*transport.TCP
+	for _, ep := range eps {
+		if !distinct[ep] {
+			distinct[ep] = true
+			uniq = append(uniq, ep.(*transport.TCP))
+		}
+	}
+	uniq[0].Tune(transport.WireOptions{Delta: true})
+	if len(uniq) > 1 {
+		uniq[1].Tune(transport.WireOptions{Delta: false, NoVectored: true})
+	}
+	return eps
+}
+
 // TestTCPRejectsMisshapenFrames plays a peer from a differently
 // configured (or hostile) cluster: raw frames with out-of-range site
 // ids must be rejected at the codec — error recorded, connection
@@ -149,4 +170,8 @@ func TestTCPConformance(t *testing.T) {
 
 func TestTCPPairedConformance(t *testing.T) {
 	transporttest.TestTransport(t, tcpPairedFactory)
+}
+
+func TestTCPHeteroConformance(t *testing.T) {
+	transporttest.TestTransport(t, tcpHeteroFactory)
 }

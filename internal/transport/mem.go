@@ -160,6 +160,11 @@ func (t *Mem) link(from, to network.NodeID) chan linkItem {
 	return ch
 }
 
+// Tune implements WireTuner as a no-op: the in-process fabric has no
+// wire path, but accepting the call lets callers hold wire options as
+// a plain value and tune every fabric uniformly.
+func (t *Mem) Tune(WireOptions) {}
+
 // Stats implements Transport.
 func (t *Mem) Stats() map[string]int64 { return t.stats.snapshot() }
 

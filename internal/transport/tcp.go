@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +30,29 @@ const dialWindow = 10 * time.Second
 // closeFlushTimeout bounds how long Close waits for each connection's
 // coalescing writer to drain frames queued before the close.
 const closeFlushTimeout = 2 * time.Second
+
+// DefaultWindow is the receive window an endpoint announces in its
+// hello when WireOptions.Window is zero: the peer may have this many
+// stream bytes in flight before it must wait for a CtrlWindow credit.
+const DefaultWindow = 8 << 20
+
+// MinWindow floors any positive configured window at two maximum batch
+// envelopes, so a single full-size batch can always be credited and a
+// too-small window cannot deadlock the link.
+const MinWindow = 2 * wire.MaxEnvelope
+
+// DefaultBudget bounds the bytes queued inside one connection's
+// coalescing writer. Unlike the credit window (negotiated, may be
+// absent on legacy links) the budget is always armed: a peer that
+// stops reading costs this much sender memory and blocked Sends,
+// never an OOM.
+const DefaultBudget = 16 << 20
+
+// handshakeTimeout bounds the dial-side wait for the peer's hello
+// reply. A pre-negotiation acceptor never answers (dial it with
+// WireOptions.NoHello instead), so the dial must fail promptly rather
+// than hang.
+const handshakeTimeout = 5 * time.Second
 
 // TCP is the socket transport: one endpoint per process, hosting a
 // subset of the cluster's nodes, every message encoded by internal/wire
@@ -67,15 +91,17 @@ type TCP struct {
 	// kept selectable so benchmarks can pin the before/after.
 	noBatch atomic.Bool
 
-	// Wire tuning (Tune): delta token encoding, vectored egress and
-	// flush scheduling. Like noBatch, they apply to connections dialed
-	// after the call. Vectored egress defaults on, so noVec is the
-	// negated flag.
+	// Wire tuning (Tune): delta token encoding, vectored egress, flush
+	// scheduling, receive window and hello suppression. Like noBatch,
+	// they apply to connections dialed after the call. Vectored egress
+	// and the hello default on, so noVec and noHello are negated flags.
 	delta   atomic.Bool
 	noVec   atomic.Bool
+	noHello atomic.Bool
 	tuneMu  sync.Mutex
 	fDelay  time.Duration
 	fDelayM time.Duration
+	window  int64
 
 	peersMu sync.RWMutex
 	peers   []string // per node; nil until Connect
@@ -105,6 +131,11 @@ type outConn struct {
 	co     *wire.Coalescer
 	strm   *wire.Stream // egress codec context; nil unless delta is on
 	broken atomic.Bool  // write failed; next Send to this peer redials
+	// negotiated records a completed hello exchange and the peer's
+	// hello; both are set before the connection is registered and
+	// read-only after, so no lock guards them.
+	negotiated bool
+	peer       wire.Hello
 	// retired marks the stats folded into wireAccum; guarded by the
 	// endpoint's wireMu so a snapshot can never miss or double-count a
 	// connection retiring concurrently.
@@ -186,16 +217,95 @@ func (t *TCP) SetShape(nodes, resources int) {
 // set it before the first Send.
 func (t *TCP) SetBatching(on bool) { t.noBatch.Store(!on) }
 
-// Tune implements WireTuner: delta token encoding, vectored egress and
-// flush scheduling for the coalescing writers. Like SetBatching it
-// only affects connections dialed after the call — set it before the
-// first Send.
+// Tune implements WireTuner: delta token encoding, vectored egress,
+// flush scheduling, receive window and hello suppression for the
+// coalescing writers. Like SetBatching it only affects connections
+// dialed after the call — set it before the first Send.
 func (t *TCP) Tune(o WireOptions) {
 	t.delta.Store(o.Delta)
 	t.noVec.Store(o.NoVectored)
+	t.noHello.Store(o.NoHello)
 	t.tuneMu.Lock()
 	t.fDelay, t.fDelayM = o.FlushDelay, o.FlushDelayMax
+	t.window = o.Window
 	t.tuneMu.Unlock()
+}
+
+// localHello assembles the hello this endpoint sends (dial side) or
+// answers with (accept side): protocol version, cluster shape, the
+// locally enabled feature set, and the receive window it grants.
+func (t *TCP) localHello() wire.Hello {
+	t.shapeMu.RLock()
+	res := t.resources
+	t.shapeMu.RUnlock()
+	var feat uint64
+	if t.delta.Load() {
+		feat |= wire.FeatDelta
+	}
+	if !t.noVec.Load() {
+		feat |= wire.FeatWritev
+	}
+	t.tuneMu.Lock()
+	fd, fdm, win := t.fDelay, t.fDelayM, t.window
+	t.tuneMu.Unlock()
+	if fd > 0 || fdm > 0 {
+		feat |= wire.FeatFlushDelay
+	}
+	return wire.Hello{
+		Version:   wire.ProtoVersion,
+		Nodes:     t.n,
+		Resources: res,
+		Features:  feat,
+		Window:    resolveWindow(win),
+	}
+}
+
+// resolveWindow maps the WireOptions.Window knob onto the announced
+// window: zero selects the default, negative disables crediting, and
+// a positive value is floored at MinWindow.
+func resolveWindow(w int64) uint64 {
+	switch {
+	case w < 0:
+		return 0
+	case w == 0:
+		return DefaultWindow
+	case w < MinWindow:
+		return MinWindow
+	default:
+		return uint64(w)
+	}
+}
+
+// checkPeer validates a peer hello against this endpoint: the protocol
+// version must match exactly, and the cluster shape must agree
+// wherever both sides know it (a zero count means unknown).
+func (t *TCP) checkPeer(peer wire.Hello) error {
+	if peer.Version != wire.ProtoVersion {
+		return fmt.Errorf("protocol version %d, want %d", peer.Version, wire.ProtoVersion)
+	}
+	if peer.Nodes != 0 && peer.Nodes != t.n {
+		return fmt.Errorf("cluster of %d nodes, this endpoint connects %d", peer.Nodes, t.n)
+	}
+	t.shapeMu.RLock()
+	res := t.resources
+	t.shapeMu.RUnlock()
+	if peer.Resources != 0 && res != 0 && peer.Resources != res {
+		return fmt.Errorf("resource universe of %d, this endpoint %d", peer.Resources, res)
+	}
+	return nil
+}
+
+// Negotiated reports the hello received from the peer at addr, if a
+// negotiated connection to it is currently open — the test hook for
+// asserting what a heterogeneous pair agreed on.
+func (t *TCP) Negotiated(addr string) (wire.Hello, bool) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	oc, ok := t.conns[addr]
+	if !ok || !oc.negotiated {
+		return wire.Hello{}, false
+	}
+	return oc.peer, true
 }
 
 // Bind implements Transport.
@@ -316,6 +426,14 @@ func (t *TCP) conn(addr string) *outConn {
 		}
 		c, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
+			// Negotiate before registering: the hello round trip happens
+			// outside connMu so a slow peer cannot stall dials to others.
+			hs, err := t.dialHandshake(c)
+			if err != nil {
+				c.Close()
+				t.fail(err)
+				return nil
+			}
 			t.connMu.Lock()
 			select {
 			case <-t.closed:
@@ -331,33 +449,7 @@ func (t *TCP) conn(addr string) *outConn {
 				c.Close() // lost a dial race; use the winner
 				return existing
 			}
-			oc = &outConn{c: c}
-			maxFrames := 0
-			if t.noBatch.Load() {
-				maxFrames = 1
-			}
-			oc.co = wire.NewCoalescer(c, maxFrames, func(err error) {
-				t.writeFailed(oc, err)
-			})
-			if t.noVec.Load() {
-				oc.co.SetVectored(false)
-			}
-			t.tuneMu.Lock()
-			fd, fdm := t.fDelay, t.fDelayM
-			t.tuneMu.Unlock()
-			if fdm > fd {
-				oc.co.SetFlushAdaptive(fd, fdm)
-			} else if fd > 0 {
-				oc.co.SetFlushDelay(fd)
-			}
-			if t.delta.Load() {
-				// Announce delta-encoded token state ahead of the first
-				// frame; the per-connection stream carries the encoder's
-				// shadow cache from here on.
-				oc.strm = wire.NewStream()
-				oc.strm.SetFlag(wire.CtrlTokenDelta)
-				oc.co.SetPreamble(wire.AppendControl(nil, wire.CtrlTokenDelta, nil))
-			}
+			oc = t.newOutConn(c, hs)
 			t.conns[addr] = oc
 			t.connMu.Unlock()
 			return oc
@@ -368,6 +460,137 @@ func (t *TCP) conn(addr string) *outConn {
 			return nil
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// negotiated carries a dial handshake's outcome into connection setup:
+// whether a hello was exchanged, the peer's hello, and the reverse-path
+// reader (which may hold buffered bytes past the hello reply and must
+// therefore keep serving the credit loop).
+type negotiated struct {
+	done bool
+	peer wire.Hello
+	br   *bufio.Reader
+}
+
+// dialHandshake runs the dial side of connection negotiation: send our
+// hello, wait (bounded) for the peer's hello or rejection. With
+// NoHello set the exchange is skipped entirely — the connection then
+// carries exactly the pre-negotiation byte stream, for dialing legacy
+// acceptors that would choke on a control they do not know.
+func (t *TCP) dialHandshake(c net.Conn) (negotiated, error) {
+	if t.noHello.Load() {
+		return negotiated{}, nil
+	}
+	mine := t.localHello()
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetDeadline(time.Time{})
+	hello := wire.AppendControl(nil, wire.CtrlHello, wire.AppendHello(nil, mine))
+	if _, err := c.Write(hello); err != nil {
+		return negotiated{}, fmt.Errorf("transport: hello to %s: %w", c.RemoteAddr(), err)
+	}
+	br := bufio.NewReader(c)
+	for {
+		ctl, err := wire.ReadControl(br)
+		if err != nil {
+			return negotiated{}, fmt.Errorf("transport: hello reply from %s: %w", c.RemoteAddr(), err)
+		}
+		switch ctl.Code {
+		case wire.CtrlHello:
+			peer, err := wire.ParseHello(ctl.Payload)
+			if err != nil {
+				return negotiated{}, fmt.Errorf("transport: hello from %s: %w", c.RemoteAddr(), err)
+			}
+			if err := t.checkPeer(peer); err != nil {
+				return negotiated{}, fmt.Errorf("transport: peer %s: %w", c.RemoteAddr(), err)
+			}
+			return negotiated{done: true, peer: peer, br: br}, nil
+		case wire.CtrlReject:
+			reason, _ := wire.ParseReject(ctl.Payload)
+			return negotiated{}, fmt.Errorf("transport: peer %s rejected handshake: %s", c.RemoteAddr(), reason)
+		default:
+			// A control ahead of the hello reply from a future build:
+			// skip it, same forward-compatibility rule as FrameReader.
+		}
+	}
+}
+
+// newOutConn builds the coalescing writer for a freshly dialed
+// connection, intersecting the locally enabled features with what the
+// peer advertised (a legacy, non-negotiated connection trusts local
+// configuration alone, exactly as pre-hello builds did). Caller holds
+// connMu — which is what makes the credit loop's wg.Add ordered
+// before Close's Wait.
+func (t *TCP) newOutConn(c net.Conn, hs negotiated) *outConn {
+	oc := &outConn{c: c, negotiated: hs.done, peer: hs.peer}
+	maxFrames := 0
+	if t.noBatch.Load() {
+		maxFrames = 1
+	}
+	oc.co = wire.NewCoalescer(c, maxFrames, func(err error) {
+		t.writeFailed(oc, err)
+	})
+	useDelta := t.delta.Load()
+	vectored := !t.noVec.Load()
+	if hs.done {
+		useDelta = useDelta && hs.peer.Features&wire.FeatDelta != 0
+		vectored = vectored && hs.peer.Features&wire.FeatWritev != 0
+	}
+	if !vectored {
+		oc.co.SetVectored(false)
+	}
+	t.tuneMu.Lock()
+	fd, fdm := t.fDelay, t.fDelayM
+	t.tuneMu.Unlock()
+	if fdm > fd {
+		oc.co.SetFlushAdaptive(fd, fdm)
+	} else if fd > 0 {
+		oc.co.SetFlushDelay(fd)
+	}
+	if useDelta {
+		// Announce delta-encoded token state ahead of the first
+		// frame; the per-connection stream carries the encoder's
+		// shadow cache from here on.
+		oc.strm = wire.NewStream()
+		oc.strm.SetFlag(wire.CtrlTokenDelta)
+		oc.co.SetPreamble(wire.AppendControl(nil, wire.CtrlTokenDelta, nil))
+	}
+	// The byte budget is always armed — negotiated or legacy, a stalled
+	// peer costs bounded memory, never an OOM.
+	oc.co.SetByteBudget(DefaultBudget)
+	if hs.done && hs.peer.Window > 0 {
+		oc.co.SetWindow(int64(hs.peer.Window))
+		t.wg.Add(1)
+		go t.creditLoop(oc, hs.br)
+	}
+	return oc
+}
+
+// creditLoop drains the reverse path of a dialed connection for
+// CtrlWindow credits and feeds them to the coalescing writer. On any
+// read error it grants unbounded credit before exiting: a dying
+// reverse path must never wedge the flusher — the next forward write
+// fails normally instead, and the connection is redialed.
+func (t *TCP) creditLoop(oc *outConn, br *bufio.Reader) {
+	defer t.wg.Done()
+	defer oc.co.AddCredit(1 << 62)
+	for {
+		ctl, err := wire.ReadControl(br)
+		if err != nil {
+			return
+		}
+		switch ctl.Code {
+		case wire.CtrlWindow:
+			n, err := wire.ParseWindowUpdate(ctl.Payload)
+			if err != nil {
+				return
+			}
+			oc.co.AddCredit(int64(n))
+		case wire.CtrlReject:
+			return
+		default:
+			// Unknown reverse-path control from a future build: skip.
+		}
 	}
 }
 
@@ -450,12 +673,48 @@ func (t *TCP) serve(c net.Conn) {
 	// (delta-encoded token state) flip flags here, and stateful codecs
 	// keep their per-connection caches in it.
 	strm := wire.NewStream()
+	// Negotiation state. The hello reply and subsequent credits are the
+	// only bytes this side ever writes, and both happen strictly after
+	// a valid dialer hello arrives — a legacy dialer that never sends
+	// one therefore sees a byte-for-byte legacy connection: no reply,
+	// no credits, nothing on the reverse path at all.
+	var (
+		frames   int64  // frames seen; a hello after the first is hostile
+		helloed  bool   // dialer hello received and answered
+		window   uint64 // announced receive window; 0 = no crediting
+		credited uint64 // Consumed() bytes already credited back
+	)
 	fr.OnControl(func(code uint64, payload []byte) error {
-		if code == wire.CtrlTokenDelta {
+		switch code {
+		case wire.CtrlTokenDelta:
 			strm.SetFlag(code)
 			return nil
+		case wire.CtrlHello:
+			if frames > 0 || helloed {
+				return fmt.Errorf("hello after %d frames (helloed=%v)", frames, helloed)
+			}
+			peer, err := wire.ParseHello(payload)
+			if err != nil {
+				return err
+			}
+			if err := t.checkPeer(peer); err != nil {
+				// Tell the dialer why before dying: its handshake is
+				// blocked on this reply and would otherwise time out.
+				reject := wire.AppendReject(nil, err.Error())
+				c.Write(wire.AppendControl(nil, wire.CtrlReject, reject))
+				return err
+			}
+			mine := t.localHello()
+			reply := wire.AppendControl(nil, wire.CtrlHello, wire.AppendHello(nil, mine))
+			if _, err := c.Write(reply); err != nil {
+				return fmt.Errorf("hello reply: %w", err)
+			}
+			helloed = true
+			window = mine.Window
+			return nil
+		default:
+			return wire.ErrUnknownControl // forward compat: skip and count
 		}
-		return fmt.Errorf("unknown stream control %d", code)
 	})
 	for {
 		// Re-read the shape per frame: a peer may connect (and send)
@@ -467,6 +726,19 @@ func (t *TCP) serve(c net.Conn) {
 		if err != nil {
 			t.connErr(c, err)
 			return
+		}
+		frames++
+		// Credit consumed stream bytes back once half the window has
+		// gone by — frequent enough that the sender never stalls on a
+		// draining receiver, rare enough to stay off the hot path.
+		if window > 0 && fr.Consumed()-credited >= window/2 {
+			delta := fr.Consumed() - credited
+			update := wire.AppendWindowUpdate(nil, delta)
+			if _, err := c.Write(wire.AppendControl(nil, wire.CtrlWindow, update)); err != nil {
+				t.connErr(c, fmt.Errorf("window update: %w", err))
+				return
+			}
+			credited += delta
 		}
 		d := wire.NewDecFor(frame, t.n, resources)
 		from := d.Site()

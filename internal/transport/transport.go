@@ -81,6 +81,17 @@ type WireOptions struct {
 	// scheduler: the delay widens toward FlushDelayMax while small
 	// flushes pile up under high fan-in and narrows back otherwise.
 	FlushDelayMax time.Duration
+	// Window is the receive window this endpoint announces in its hello
+	// (bytes the peer may have in flight before waiting for credit).
+	// Zero selects DefaultWindow; a negative value disables crediting
+	// (the peer sends unbounded, as pre-hello builds did).
+	Window int64
+	// NoHello suppresses the connection hello on dialed connections,
+	// for interoperating with pre-negotiation acceptors that would not
+	// answer one. Feature negotiation and flow-control crediting are
+	// unavailable on such connections; the egress byte budget still
+	// bounds sender memory.
+	NoHello bool
 }
 
 // WireTuner is implemented by transports whose egress wire path is

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -57,6 +58,14 @@ func AppendBatch(dst, body []byte) []byte {
 // Stream-control codes. A control is addressed to the connection, not
 // to a frame consumer: FrameReader surfaces it through OnControl and
 // carries on with the next stream element.
+//
+// Forward-compatibility rule: controls are length-prefixed precisely
+// so a reader can skip codes it does not know. A handler that returns
+// ErrUnknownControl for an unrecognized code lets the stream continue
+// (FrameReader counts the skip, see SkippedControls); future builds
+// may therefore introduce new controls without breaking old decoders.
+// Only a control the handler understands but finds malformed should
+// fail the stream.
 const (
 	// CtrlTokenDelta announces that the sender's LASS.Response token
 	// payloads on this stream use the delta-capable encoding of
@@ -64,7 +73,24 @@ const (
 	// token; epoch/seq stamps ride in the tokens themselves). Its
 	// payload is empty. Senders emit it once, before the first frame.
 	CtrlTokenDelta = 1
+	// CtrlHello opens connection negotiation: version, cluster shape,
+	// feature bits and receive window (see hello.go). Sent before any
+	// frame; the acceptor answers with its own hello or a CtrlReject.
+	CtrlHello = 2
+	// CtrlWindow credits consumed stream bytes back to the sender —
+	// the flow-control half of the negotiated window (hello.go). Its
+	// payload is one uvarint byte count.
+	CtrlWindow = 3
+	// CtrlReject refuses a handshake with a human-readable reason
+	// (version or shape mismatch); the connection dies after it.
+	CtrlReject = 4
 )
+
+// ErrUnknownControl is returned by an OnControl handler to report a
+// control code it does not recognize: FrameReader then skips the
+// (already consumed, length-prefixed) control and continues the
+// stream, counting the skip. Any other handler error fails the stream.
+var ErrUnknownControl = errors.New("wire: unknown stream control")
 
 // maxControlPayload bounds one control's payload; current controls
 // carry none, and nothing legitimate ever needs much.
@@ -104,9 +130,13 @@ type FrameReader struct {
 	env uint64 // bytes remaining in the current batch envelope
 	buf []byte // reused frame buffer
 
-	// onControl, when set, receives stream-control elements; its error
-	// fails the stream. A reader with no handler treats a control as
-	// malformed input — nothing should send controls it did not expect.
+	consumed uint64 // exact stream bytes consumed (markers and headers included)
+	skipped  uint64 // unknown controls skipped (forward compat)
+
+	// onControl, when set, receives stream-control elements; returning
+	// ErrUnknownControl skips the control (forward compat), any other
+	// error fails the stream. A reader with no handler skips and counts
+	// every control — the conservative forward-compatible default.
 	onControl func(code uint64, payload []byte) error
 }
 
@@ -115,6 +145,18 @@ type FrameReader struct {
 func (fr *FrameReader) OnControl(fn func(code uint64, payload []byte) error) {
 	fr.onControl = fn
 }
+
+// Consumed reports the exact number of stream bytes read so far —
+// markers, envelope headers, control elements and frame payloads all
+// included. It is the byte count a flow-controlled receiver credits
+// back to the sender (CtrlWindow), so the units match the sender's
+// written-byte accounting.
+func (fr *FrameReader) Consumed() uint64 { return fr.consumed }
+
+// SkippedControls reports how many unknown stream controls the reader
+// has skipped (the forward-compatibility path: no handler, or a
+// handler returning ErrUnknownControl).
+func (fr *FrameReader) SkippedControls() uint64 { return fr.skipped }
 
 // NewFrameReader wraps r (buffered if it is not already), rejecting
 // frames and envelopes larger than max.
@@ -140,6 +182,7 @@ func (fr *FrameReader) Next() ([]byte, error) {
 			if size > fr.max {
 				return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", size, fr.max)
 			}
+			fr.consumed += uint64(uvarintLen(size)) + size
 			return fr.read(size)
 		}
 		// Batch marker: read the envelope header, then fall through to
@@ -159,6 +202,7 @@ func (fr *FrameReader) Next() ([]byte, error) {
 		if env > fr.max {
 			return nil, fmt.Errorf("wire: batch envelope of %d bytes exceeds limit %d", env, fr.max)
 		}
+		fr.consumed += 1 + uint64(uvarintLen(env))
 		fr.env = env
 	}
 	// Inside an envelope: every byte read, prefix included, is charged
@@ -175,6 +219,7 @@ func (fr *FrameReader) Next() ([]byte, error) {
 		return nil, fmt.Errorf("wire: frame of %d bytes overruns its batch envelope (%d left)", size, fr.env)
 	}
 	fr.env -= cost
+	fr.consumed += cost
 	return fr.read(size)
 }
 
@@ -196,10 +241,20 @@ func (fr *FrameReader) control() error {
 	if _, err := io.ReadFull(fr.br, payload); err != nil {
 		return noEOF(err)
 	}
+	fr.consumed += 2 + uint64(uvarintLen(code)) + uint64(uvarintLen(n)) + n
 	if fr.onControl == nil {
-		return fmt.Errorf("wire: unexpected stream control %d on a control-free stream", code)
+		// Forward compatibility: a reader with no handler skips every
+		// control. The length prefix makes that safe; erroring here
+		// would let any future control break every old decoder.
+		fr.skipped++
+		return nil
 	}
-	return fr.onControl(code, payload)
+	err = fr.onControl(code, payload)
+	if errors.Is(err, ErrUnknownControl) {
+		fr.skipped++
+		return nil
+	}
+	return err
 }
 
 // read fills the reused buffer with size payload bytes.

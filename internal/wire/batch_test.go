@@ -66,7 +66,6 @@ func TestFrameReaderRejectsMalformedEnvelopes(t *testing.T) {
 		stream []byte
 	}{
 		{"bare control marker (truncated control)", []byte{0, 0}},
-		{"control on a control-free stream", wire.AppendControl(nil, 1, nil)},
 		{"control payload over limit", wire.AppendControl(nil, 1, make([]byte, 4096))},
 		{"empty frame in envelope", append([]byte{0, 1}, 0)},
 		{"nested marker", func() []byte {
@@ -379,11 +378,12 @@ func TestFrameReaderStreamControls(t *testing.T) {
 		t.Fatalf("control payload = %v", payloads[1])
 	}
 
-	// A handler rejecting a control fails the stream.
+	// A handler rejecting a control (any error other than
+	// ErrUnknownControl) fails the stream.
 	fr = wire.NewFrameReader(bytes.NewReader(stream), 1<<16)
 	fr.OnControl(func(code uint64, payload []byte) error {
 		if code != wire.CtrlTokenDelta {
-			return fmt.Errorf("unknown control %d", code)
+			return fmt.Errorf("malformed control %d", code)
 		}
 		return nil
 	})
@@ -392,6 +392,54 @@ func TestFrameReaderStreamControls(t *testing.T) {
 		_, err = fr.Next()
 	}
 	if err == io.EOF {
-		t.Fatal("unknown control accepted")
+		t.Fatal("rejected control accepted")
 	}
+}
+
+// TestFrameReaderSkipsUnknownControls pins the forward-compatibility
+// rule: unknown stream controls are skipped and counted — by a reader
+// with no handler, and by a handler returning ErrUnknownControl — so
+// future controls never break old decoders. Consumed must account for
+// every stream byte either way (it is what flow control credits back).
+func TestFrameReaderSkipsUnknownControls(t *testing.T) {
+	var stream []byte
+	stream = wire.AppendControl(stream, 77, []byte{9, 9, 9})
+	stream = wire.AppendFrame(stream, []byte("aa"))
+	stream = wire.AppendControl(stream, 78, nil)
+	stream = wire.AppendFrame(stream, []byte("bb"))
+
+	check := func(t *testing.T, fr *wire.FrameReader, wantSkips uint64) {
+		t.Helper()
+		var frames [][]byte
+		for {
+			f, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, append([]byte(nil), f...))
+		}
+		if len(frames) != 2 || string(frames[0]) != "aa" || string(frames[1]) != "bb" {
+			t.Fatalf("frames = %q", frames)
+		}
+		if got := fr.SkippedControls(); got != wantSkips {
+			t.Fatalf("SkippedControls = %d, want %d", got, wantSkips)
+		}
+		if got := fr.Consumed(); got != uint64(len(stream)) {
+			t.Fatalf("Consumed = %d, want the whole stream (%d bytes)", got, len(stream))
+		}
+	}
+
+	t.Run("no handler", func(t *testing.T) {
+		check(t, wire.NewFrameReader(bytes.NewReader(stream), 1<<16), 2)
+	})
+	t.Run("handler returns ErrUnknownControl", func(t *testing.T) {
+		fr := wire.NewFrameReader(bytes.NewReader(stream), 1<<16)
+		fr.OnControl(func(code uint64, payload []byte) error {
+			return fmt.Errorf("%w %d", wire.ErrUnknownControl, code)
+		})
+		check(t, fr, 2)
+	})
 }

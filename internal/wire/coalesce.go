@@ -46,6 +46,22 @@ type Coalescer struct {
 	pending []span    // queued frames, append order
 	closed  bool
 	err     error
+
+	// Byte budget (SetByteBudget): appenders block while the queued
+	// bytes would exceed it — the bound that keeps a stalled peer from
+	// growing this queue without limit. room wakes them as the flusher
+	// drains (and on close/error, so nobody blocks forever).
+	budget       int64
+	pendingBytes int64
+	room         sync.Cond
+
+	// Credit window (SetWindow/AddCredit): the peer's advertised
+	// receive window. The flusher spends credit as it writes and waits
+	// on creditCond when the window is exhausted; CtrlWindow updates
+	// from the peer replenish it.
+	window     int64
+	credit     int64
+	creditCond sync.Cond
 	// maxFrames, when positive, bounds how many frames one flush may
 	// write together; 1 disables batching entirely (the pre-batching
 	// wire behavior, kept measurable for before/after benchmarks).
@@ -135,6 +151,9 @@ type CoalescerStats struct {
 	Batches int64 // flush groups that used a batch envelope (≥2 frames)
 	Frames  int64 // frames written
 	Bytes   int64 // bytes written, envelope headers included
+	// Stalls counts backpressure events: appends that blocked on the
+	// byte budget, plus flushes that waited for window credit.
+	Stalls int64
 	// Hist buckets flush groups by frame count:
 	// 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64–127, ≥128.
 	Hist [8]int64
@@ -156,6 +175,7 @@ func (s *CoalescerStats) Add(o CoalescerStats) {
 	s.Batches += o.Batches
 	s.Frames += o.Frames
 	s.Bytes += o.Bytes
+	s.Stalls += o.Stalls
 	for i, v := range o.Hist {
 		s.Hist[i] += v
 	}
@@ -187,8 +207,87 @@ func NewCoalescer(w io.Writer, maxFrames int, onErr func(error)) *Coalescer {
 		closeCh: make(chan struct{}), done: make(chan struct{}),
 	}
 	c.nonIdle.L = &c.mu
+	c.room.L = &c.mu
+	c.creditCond.L = &c.mu
 	go c.flusher()
 	return c
+}
+
+// SetByteBudget bounds the bytes queued behind the flusher (0, the
+// default, is unbounded — the pre-flow-control behavior). An Append
+// that would push the queue past the budget blocks until the flusher
+// drains (or the coalescer closes or errors); a frame is always
+// admitted into an empty queue, so the actual bound is budget plus one
+// frame. This is the sender-side half of end-to-end flow control: a
+// stalled peer costs bounded memory and blocked senders, never an OOM.
+func (c *Coalescer) SetByteBudget(n int64) {
+	c.mu.Lock()
+	c.budget = n
+	c.room.Broadcast()
+	c.mu.Unlock()
+}
+
+// QueuedBytes reports the frame bytes currently queued behind the
+// flusher (the quantity SetByteBudget bounds).
+func (c *Coalescer) QueuedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pendingBytes
+}
+
+// SetWindow arms credit-based flow control with the peer's advertised
+// receive window (hello negotiation): the flusher spends the window as
+// it writes and waits for CtrlWindow credits (AddCredit) when it is
+// exhausted. Zero (the default) disables crediting. Call before the
+// first Append.
+func (c *Coalescer) SetWindow(n int64) {
+	c.mu.Lock()
+	c.window = n
+	c.credit = n
+	c.creditCond.Broadcast()
+	c.mu.Unlock()
+}
+
+// AddCredit returns n consumed bytes of window credit (a CtrlWindow
+// update from the peer), waking a flusher waiting for it.
+func (c *Coalescer) AddCredit(n int64) {
+	c.mu.Lock()
+	c.credit += n
+	c.creditCond.Broadcast()
+	c.mu.Unlock()
+}
+
+// waitCredit blocks until at least min(n, window) bytes of credit are
+// available, then reserves nothing — chargeCredit settles the exact
+// written byte count afterwards. A closed or failed coalescer never
+// waits (Close must be able to drain against a dead peer; the write
+// deadline bounds that attempt instead).
+func (c *Coalescer) waitCredit(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.window <= 0 {
+		return
+	}
+	if n > c.window {
+		n = c.window // a group larger than the window must still move
+	}
+	waited := false
+	for c.credit < n && !c.closed && c.err == nil {
+		if !waited {
+			waited = true
+			c.stats.Stalls++
+		}
+		c.creditCond.Wait()
+	}
+}
+
+// chargeCredit spends written bytes against the window.
+func (c *Coalescer) chargeCredit(n int64) {
+	c.mu.Lock()
+	if c.window > 0 {
+		c.credit -= n
+	}
+	c.mu.Unlock()
 }
 
 // SetMaxFrames adjusts the per-flush frame bound (0 = unbounded, 1 =
@@ -277,13 +376,28 @@ func (c *Coalescer) AppendOwned(buf []byte, off int) bool {
 }
 
 func (c *Coalescer) append(s span) bool {
+	size := int64(len(s.frame()))
 	c.mu.Lock()
+	// Byte budget: block while admitting this frame would overflow it.
+	// A frame is always admitted into an empty queue (otherwise a frame
+	// larger than the budget could never move), so the bound is budget
+	// plus one frame. Close and write errors wake every waiter.
+	waited := false
+	for c.budget > 0 && c.pendingBytes > 0 && c.pendingBytes+size > c.budget &&
+		!c.closed && c.err == nil {
+		if !waited {
+			waited = true
+			c.stats.Stalls++
+		}
+		c.room.Wait()
+	}
 	if c.closed || c.err != nil {
 		c.mu.Unlock()
 		ReleaseFrame(s.buf)
 		return false
 	}
 	c.pending = append(c.pending, s)
+	c.pendingBytes += size
 	if len(c.pending) == 1 {
 		// Only an empty→non-empty edge can find the flusher parked.
 		c.nonIdle.Signal()
@@ -315,6 +429,10 @@ func (c *Coalescer) Close() error {
 		c.closed = true
 		close(c.closeCh)
 		c.nonIdle.Signal()
+		// Wake appenders blocked on the budget and a flusher waiting
+		// for credit: a close must never deadlock on flow control.
+		c.room.Broadcast()
+		c.creditCond.Broadcast()
 	}
 	c.mu.Unlock()
 	<-c.done
@@ -380,10 +498,17 @@ func (c *Coalescer) flusher() {
 		c.preamble = nil
 		c.mu.Unlock()
 
+		var drained int64
+		for _, s := range spans {
+			drained += int64(len(s.frame()))
+		}
 		var st CoalescerStats
 		var err error
 		if len(pre) > 0 {
+			before := st.Bytes
+			c.waitCredit(int64(len(pre)))
 			err = c.write(&st, nil, pre)
+			c.chargeCredit(st.Bytes - before)
 		}
 		if err == nil {
 			err = c.writeOut(&st, spans, maxFrames, vectored)
@@ -396,6 +521,11 @@ func (c *Coalescer) flusher() {
 		c.mu.Lock()
 		c.stats.Add(st)
 		c.spare = spans[:0]
+		// The drained frames are written (or lost to the error below)
+		// and their buffers released either way: the budget no longer
+		// holds them against appenders.
+		c.pendingBytes -= drained
+		c.room.Broadcast()
 		if c.delayMax > c.delayBase {
 			c.adapt(len(spans), len(c.pending) > 0)
 		}
@@ -410,6 +540,9 @@ func (c *Coalescer) flusher() {
 			c.mu.Lock()
 			stale := c.pending
 			c.pending = nil
+			c.pendingBytes = 0
+			c.room.Broadcast()
+			c.creditCond.Broadcast()
 			c.mu.Unlock()
 			for _, s := range stale {
 				ReleaseFrame(s.buf)
@@ -463,6 +596,11 @@ func (c *Coalescer) writeOut(st *CoalescerStats, spans []span, maxFrames int, ve
 			size += len(spans[last].frame())
 		}
 		frames := last + 1 - first
+		// Flow control: hold the group until the peer's window has room
+		// for it (plus the envelope header), then settle the exact
+		// written byte count against the credit.
+		c.waitCredit(int64(size) + headerReserve)
+		before := st.Bytes
 		var err error
 		switch {
 		case frames == 1:
@@ -474,6 +612,7 @@ func (c *Coalescer) writeOut(st *CoalescerStats, spans []span, maxFrames int, ve
 		default:
 			err = c.writeCopy(st, spans[first:last+1], size)
 		}
+		c.chargeCredit(st.Bytes - before)
 		st.Flushes++
 		st.Frames += int64(frames)
 		st.Hist[histBucket(frames)]++

@@ -1,0 +1,111 @@
+package wire_test
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"mralloc/internal/wire"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := wire.Hello{
+		Version:   wire.ProtoVersion,
+		Nodes:     512,
+		Resources: 80,
+		Features:  wire.FeatDelta | wire.FeatWritev | wire.FeatFlushDelay,
+		Window:    8 << 20,
+	}
+	got, err := wire.ParseHello(wire.AppendHello(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+// TestHelloForwardCompat: a future hello may append fields; today's
+// parser must ignore the trailing bytes rather than reject them.
+func TestHelloForwardCompat(t *testing.T) {
+	payload := wire.AppendHello(nil, wire.Hello{Version: 1, Nodes: 3, Resources: 4})
+	payload = append(payload, 0xAB, 0xCD, 0xEF) // hypothetical future fields
+	got, err := wire.ParseHello(payload)
+	if err != nil {
+		t.Fatalf("trailing bytes rejected: %v", err)
+	}
+	if got.Nodes != 3 || got.Resources != 4 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+// TestHelloHostile: truncated and absurd hellos must error, never
+// panic or demand memory.
+func TestHelloHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"truncated": wire.AppendHello(nil, wire.Hello{Version: 1, Nodes: 3, Resources: 4})[:2],
+		"absurd shape": func() []byte {
+			return wire.AppendHello(nil, wire.Hello{Version: 1, Nodes: 1 << 30, Resources: 4})
+		}(),
+	}
+	for name, payload := range cases {
+		if _, err := wire.ParseHello(payload); err == nil {
+			t.Errorf("%s hello accepted: %x", name, payload)
+		}
+	}
+}
+
+func TestWindowUpdateAndRejectRoundTrip(t *testing.T) {
+	n, err := wire.ParseWindowUpdate(wire.AppendWindowUpdate(nil, 123456))
+	if err != nil || n != 123456 {
+		t.Fatalf("window update: %d, %v", n, err)
+	}
+	if _, err := wire.ParseWindowUpdate(nil); err == nil {
+		t.Fatal("empty window update accepted")
+	}
+	reason, err := wire.ParseReject(wire.AppendReject(nil, "version mismatch"))
+	if err != nil || reason != "version mismatch" {
+		t.Fatalf("reject: %q, %v", reason, err)
+	}
+	long := strings.Repeat("x", 1000)
+	reason, err = wire.ParseReject(wire.AppendReject(nil, long))
+	if err != nil || len(reason) != 256 {
+		t.Fatalf("long reject not truncated: %d bytes, %v", len(reason), err)
+	}
+	if _, err := wire.ParseReject([]byte{0xFF}); err == nil {
+		t.Fatal("malformed reject accepted")
+	}
+}
+
+// TestReadControl: the dialer-side handshake reader accepts controls,
+// skips nothing (each call is one element), and rejects frames where a
+// control is required.
+func TestReadControl(t *testing.T) {
+	stream := wire.AppendControl(nil, wire.CtrlHello, wire.AppendHello(nil, wire.Hello{Version: 1}))
+	stream = wire.AppendControl(stream, 99, []byte{1})
+	br := bufio.NewReader(bytes.NewReader(stream))
+	c1, err := wire.ReadControl(br)
+	if err != nil || c1.Code != wire.CtrlHello {
+		t.Fatalf("first control: %+v, %v", c1, err)
+	}
+	if _, err := wire.ParseHello(c1.Payload); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := wire.ReadControl(br)
+	if err != nil || c2.Code != 99 || len(c2.Payload) != 1 {
+		t.Fatalf("second control: %+v, %v", c2, err)
+	}
+
+	// A frame where a control is required is a handshake violation.
+	frame := wire.AppendFrame(nil, []byte("zz"))
+	if _, err := wire.ReadControl(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("frame accepted as a control")
+	}
+	// An oversized control payload is hostile.
+	big := wire.AppendControl(nil, 7, make([]byte, 4096))
+	if _, err := wire.ReadControl(bufio.NewReader(bytes.NewReader(big))); err == nil {
+		t.Fatal("oversized control accepted")
+	}
+}
