@@ -75,6 +75,13 @@ type daemonConfig struct {
 	egressBudget     int64
 	flushDelay       time.Duration
 	flushDelayMax    time.Duration
+	chaosDrop        float64
+	chaosDup         float64
+	chaosDelay       time.Duration
+	chaosDelayMax    time.Duration
+	chaosKillEvery   time.Duration
+	chaosSeed        int64
+	chaosSpec        string
 }
 
 func main() {
@@ -97,6 +104,13 @@ func main() {
 	flag.Int64Var(&cfg.egressBudget, "egress-budget", 0, "client-port response bytes queued per connection before the client is shed (0 = default, negative = unbounded)")
 	flag.DurationVar(&cfg.flushDelay, "flush-delay", 0, "egress micro-delay before each peer flush, trading bounded latency for bigger batches (0 = flush on wakeup)")
 	flag.DurationVar(&cfg.flushDelayMax, "flush-delay-max", 0, "> flush-delay enables adaptive widening of the flush delay under high fan-in")
+	flag.Float64Var(&cfg.chaosDrop, "chaos-drop", 0, "fault injection: probability in [0,1] of dropping each outgoing peer message")
+	flag.Float64Var(&cfg.chaosDup, "chaos-dup", 0, "fault injection: probability in [0,1] of duplicating each outgoing peer message (breaks the no-duplication hypothesis — expect safety-only behavior)")
+	flag.DurationVar(&cfg.chaosDelay, "chaos-delay", 0, "fault injection: minimum extra delay per outgoing peer message")
+	flag.DurationVar(&cfg.chaosDelayMax, "chaos-delay-max", 0, "fault injection: maximum extra delay per outgoing peer message (0 with -chaos-delay set means fixed delay)")
+	flag.DurationVar(&cfg.chaosKillEvery, "chaos-kill-every", 0, "fault injection: forcibly abort every live peer connection at this interval, exercising the redial path (0 = never)")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "fault injection: RNG seed for the per-link fault schedules")
+	flag.StringVar(&cfg.chaosSpec, "chaos-spec", "", "fault injection: hex-encoded chaos spec (as printed by a prior run) — replays that exact fault configuration, overriding the individual -chaos-* knobs")
 	flag.DurationVar(&cfg.linger, "linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
 	flag.IntVar(&cfg.phi, "phi", 4, "maximum resources per request (workload mode)")
 	flag.DurationVar(&cfg.think, "think", time.Millisecond, "mean pause between requests (workload mode)")
@@ -186,10 +200,18 @@ func run(cfg daemonConfig) error {
 		tr.Close()
 		return err
 	}
+	// The cluster's transport: the raw TCP endpoint, or — when any
+	// -chaos-* knob is armed — that endpoint behind the fault-injecting
+	// wrapper, with the spec hex printed so the run can be replayed.
+	clusterTr, err := chaosWrap(cfg, tr)
+	if err != nil {
+		tr.Close()
+		return err
+	}
 	cluster, err := live.New(live.Config{
 		Nodes:     nodes,
 		Resources: resources,
-		Transport: tr,
+		Transport: clusterTr,
 		Local:     local,
 		Policy:    policy,
 		Wire: transport.WireOptions{
@@ -299,6 +321,48 @@ func run(cfg daemonConfig) error {
 	fmt.Println("mrallocd: final counters after serving peers:")
 	printStats(cluster.Stats())
 	return nil
+}
+
+// chaosWrap wraps the peer transport in a fault-injecting
+// transport.Chaos when any -chaos-* knob is armed. A -chaos-spec hex
+// string (as printed by a previous chaotic run) overrides the
+// individual knobs and replays that exact fault configuration.
+func chaosWrap(cfg daemonConfig, tr *transport.TCP) (transport.Transport, error) {
+	spec := transport.Spec{
+		Seed: cfg.chaosSeed,
+		Faults: transport.Faults{
+			Drop:     cfg.chaosDrop,
+			Dup:      cfg.chaosDup,
+			DelayMin: cfg.chaosDelay,
+			DelayMax: cfg.chaosDelayMax,
+		},
+		KillEvery: cfg.chaosKillEvery,
+	}
+	// -chaos-delay alone means a fixed delay of that much.
+	if spec.Faults.DelayMax < spec.Faults.DelayMin {
+		spec.Faults.DelayMax = spec.Faults.DelayMin
+	}
+	if cfg.chaosSpec != "" {
+		var err error
+		spec, err = transport.ParseSpecHex(cfg.chaosSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos-spec: %w", err)
+		}
+	}
+	if spec.Faults.Drop == 0 && spec.Faults.Dup == 0 &&
+		spec.Faults.DelayMax == 0 && spec.KillEvery == 0 {
+		return tr, nil // nothing armed: hand the raw endpoint through
+	}
+	// Round-tripping through the encoding validates the flag values
+	// (probability ranges, delay ordering) with the same rules replay
+	// uses, so a bad flag fails here instead of surprising a replay.
+	if _, err := transport.ParseSpec(spec.Append(nil)); err != nil {
+		return nil, fmt.Errorf("chaos flags: %w", err)
+	}
+	ch := transport.NewChaos(tr, spec.Seed)
+	ch.Apply(spec)
+	fmt.Printf("mrallocd: chaos armed, replay with -chaos-spec %s\n", spec)
+	return ch, nil
 }
 
 func printStats(stats map[string]int64) {

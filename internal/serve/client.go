@@ -18,6 +18,16 @@ import (
 // another node/daemon.
 var ErrOverloaded = errors.New("serve: daemon overloaded")
 
+// ErrConnLost reports that the connection to the daemon died under a
+// pending or future call: the socket failed, the daemon sent something
+// unparseable, or a write errored. Every Acquire pending at that
+// moment — and every call after it — resolves promptly with an error
+// satisfying errors.Is(err, ErrConnLost); the daemon side withdraws
+// the pending requests and hands back the grants the client held.
+// A deliberate Close does NOT satisfy it: callers distinguishing "I
+// hung up" from "the connection died under me" can.
+var ErrConnLost = errors.New("serve: connection lost")
+
 // Client speaks the client wire protocol to a daemon's client port:
 // an external process's handle onto a running cluster. One connection
 // multiplexes any number of concurrent Acquires; each is a session on
@@ -80,7 +90,7 @@ func Dial(addr string) (*Client, error) {
 		closed:  make(chan struct{}),
 	}
 	c.co = wire.NewCoalescer(nc, 0, func(err error) {
-		c.fail(fmt.Errorf("serve: write: %w", err))
+		c.fail(fmt.Errorf("%w: write: %v", ErrConnLost, err))
 	})
 	// Byte-bounded egress: a stalled daemon costs blocked Acquires and
 	// at most this much queued request memory, never an OOM.
@@ -370,12 +380,12 @@ func (c *Client) readLoop() {
 	for {
 		frame, err := fr.Next()
 		if err != nil {
-			c.fail(fmt.Errorf("serve: connection lost: %w", err))
+			c.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
 			return
 		}
 		m, err := wire.Decode(frame)
 		if err != nil {
-			c.fail(fmt.Errorf("serve: bad frame: %w", err))
+			c.fail(fmt.Errorf("%w: bad frame: %v", ErrConnLost, err))
 			return
 		}
 		switch x := m.(type) {
@@ -384,7 +394,7 @@ func (c *Client) readLoop() {
 		case ClientDeny:
 			c.dispatch(x.Req, clientResult{reason: x.Reason, code: x.Code})
 		default:
-			c.fail(fmt.Errorf("serve: unexpected %s from daemon", m.Kind()))
+			c.fail(fmt.Errorf("%w: unexpected %s from daemon", ErrConnLost, m.Kind()))
 			return
 		}
 	}
@@ -420,9 +430,10 @@ func (c *Client) fail(err error) {
 	close(c.closed)
 	c.c.Close()
 	// Join the coalescer's flusher from a fresh goroutine: fail may be
-	// running on that very flusher (write-error callback), and Close
-	// blocks until it exits. With the socket closed it drains fast.
-	go c.co.Close()
+	// running on that very flusher (write-error callback), and the
+	// close blocks until it exits. With the socket closed it drains
+	// fast; the deadline bounds the join if it somehow does not.
+	go c.co.CloseWithin(10 * time.Second)
 }
 
 // send queues one request frame on the coalescing writer — encoded

@@ -269,9 +269,10 @@ func (s *Server) serve(nc net.Conn) {
 	cn.wg.Wait()
 	// Flush whatever responses are still queued (bounded — the client
 	// may be gone), fold the egress counters into the server total,
-	// and drop the socket.
+	// and drop the socket. The bounded close join backstops the write
+	// deadline so a wedged client can never hang daemon teardown.
 	nc.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
-	cn.co.Close()
+	cn.co.CloseWithin(2 * closeFlushTimeout)
 	s.connsMu.Lock()
 	delete(s.conns, cn)
 	s.wireAccum.Add(cn.co.Stats())

@@ -1,0 +1,650 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mralloc/internal/network"
+)
+
+// Faults is one link's fault profile. The zero value injects nothing.
+//
+// Drop and Dup deliberately violate the transport contract (reliability
+// and no-duplication are the paper's channel hypotheses 1 and 3): with
+// them armed the algorithms' guarantees no longer all hold, which is
+// the point — the stress tier asserts which ones survive. Delay alone
+// preserves every contract guarantee (messages are late, never lost,
+// reordered only across links), so a delay-only schedule may still
+// assert liveness once the fault window closes.
+type Faults struct {
+	// Drop is the probability a message (or a whole batch — one batch
+	// is one wire envelope, so it is one fault decision) is silently
+	// discarded.
+	Drop float64
+	// Dup is the probability a message is delivered twice, back to
+	// back. Per-link FIFO is kept (the duplicate follows the original
+	// immediately); exactly-once is not.
+	Dup float64
+	// DelayMin/DelayMax bound the uniform per-message delivery delay.
+	// Delays are drawn per message but applied by one forwarder per
+	// ordered link, so a link is never reordered with itself — delay
+	// reorders deliveries only across links (and across connections),
+	// like real queueing would.
+	DelayMin, DelayMax time.Duration
+}
+
+// active reports whether the profile injects anything.
+func (f Faults) active() bool { return f.Drop > 0 || f.Dup > 0 || f.DelayMax > 0 }
+
+// ChaosStats counts injected faults.
+type ChaosStats struct {
+	Dropped    int64 // messages discarded (batch counted per message)
+	Duplicated int64 // extra deliveries injected
+	Delayed    int64 // deliveries held by a drawn delay
+	Killed     int64 // connections forcibly closed via KillConns
+}
+
+// ConnKiller is implemented by transports whose live connections can be
+// forcibly closed mid-stream (the TCP transport's AbortConns); the
+// chaos wrapper uses it to exercise the broken-connection redial path
+// under load.
+type ConnKiller interface {
+	AbortConns() int
+}
+
+// Chaos wraps a Transport with deterministic, seeded fault injection:
+// per-link drop/duplicate/delay, directed partitions (a→b severed while
+// b→a still flows), and — when the inner transport supports it —
+// connection kills. It forwards the optional transport faces
+// (BatchSender, WireTuner, ShapeValidator), so it slots in anywhere a
+// Mem or TCP endpoint does.
+//
+// With no fault ever armed, Chaos is a pure passthrough: every Send and
+// SendBatch delegates directly, byte- and stats-identical, which is
+// what lets the conformance suite run against a wrapped fabric
+// unchanged. Arming any fault (SetFaults, SetLinkFaults, Partition)
+// permanently routes traffic through one FIFO queue per ordered link,
+// each drained by its own forwarder goroutine — the structure that
+// keeps per-link FIFO intact while faults reorder traffic across links.
+// Arm before the link carries traffic; arming concurrently with
+// in-flight Sends on the same link can reorder that instant's messages.
+//
+// Determinism: every fault decision is drawn from a per-link RNG seeded
+// from (seed, from, to) in per-link send order, so a single-threaded
+// driver replays a schedule exactly; Trace serializes the decisions
+// for byte-identical comparison. Under concurrent senders the decision
+// sequence per link still depends only on that link's send order.
+type Chaos struct {
+	inner Transport
+	seed  int64
+
+	armed atomic.Bool
+
+	mu    sync.RWMutex
+	def   Faults
+	over  map[linkKey]Faults // per-link overrides
+	links map[linkKey]*chaosLink
+
+	dropped kindStats // per-kind counts of discarded messages
+
+	nDropped    atomic.Int64
+	nDuplicated atomic.Int64
+	nDelayed    atomic.Int64
+	nKilled     atomic.Int64
+
+	closeMu sync.Mutex
+	closed  chan struct{}
+	wg      sync.WaitGroup
+}
+
+type linkKey struct {
+	from, to network.NodeID
+}
+
+// chaosItem is one queued delivery: a single message (msgs nil) or a
+// batch shipped as a unit.
+type chaosItem struct {
+	from, to network.NodeID
+	m        network.Message
+	msgs     []network.Message
+	delay    time.Duration
+}
+
+// chaosLink is one ordered pair's fault pipeline: a FIFO queue, a
+// forwarder goroutine, a partition flag, and the link's decision RNG
+// plus trace.
+type chaosLink struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   []chaosItem
+	severed bool
+	closed  bool
+	rng     *rand.Rand
+	trace   []byte
+}
+
+// Trace decision actions.
+const (
+	chaosDeliver = 0
+	chaosDrop    = 1
+	chaosDup     = 2
+)
+
+// NewChaos wraps inner with fault injection drawn from seed. The
+// wrapper owns inner: Close closes it.
+func NewChaos(inner Transport, seed int64) *Chaos {
+	return &Chaos{
+		inner:  inner,
+		seed:   seed,
+		over:   make(map[linkKey]Faults),
+		links:  make(map[linkKey]*chaosLink),
+		closed: make(chan struct{}),
+	}
+}
+
+// SetFaults installs the default fault profile for every link (links
+// with a SetLinkFaults override keep it) and arms the fault pipeline.
+func (c *Chaos) SetFaults(f Faults) {
+	c.mu.Lock()
+	c.def = f
+	c.mu.Unlock()
+	c.armed.Store(true)
+}
+
+// SetLinkFaults overrides the fault profile of one ordered link and
+// arms the fault pipeline.
+func (c *Chaos) SetLinkFaults(from, to network.NodeID, f Faults) {
+	c.mu.Lock()
+	c.over[linkKey{from, to}] = f
+	c.mu.Unlock()
+	c.armed.Store(true)
+}
+
+// StopFaults ends the fault window: the default profile and every
+// per-link override are zeroed and every partition healed, so all
+// queued traffic drains and subsequent sends pass undisturbed (still
+// through the FIFO pipeline, which keeps ordering consistent). Delays
+// already drawn for queued messages still apply — the window is fully
+// over once they elapse, at most DelayMax later.
+func (c *Chaos) StopFaults() {
+	c.mu.Lock()
+	c.def = Faults{}
+	for k := range c.over {
+		delete(c.over, k)
+	}
+	links := make([]*chaosLink, 0, len(c.links))
+	for _, l := range c.links {
+		links = append(links, l)
+	}
+	c.mu.Unlock()
+	for _, l := range links {
+		l.mu.Lock()
+		l.severed = false
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// Partition severs the directed link from→to: messages queue (FIFO)
+// and deliver only after Heal. The reverse link is untouched — a
+// directed partition, the asymmetric failure a bidirectional "cut"
+// model cannot express. Arms the fault pipeline.
+func (c *Chaos) Partition(from, to network.NodeID) {
+	c.armed.Store(true)
+	l := c.link(linkKey{from, to})
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.severed = true
+	l.mu.Unlock()
+}
+
+// Heal reopens the directed link from→to; everything queued while it
+// was severed delivers in order.
+func (c *Chaos) Heal(from, to network.NodeID) {
+	c.mu.RLock()
+	l := c.links[linkKey{from, to}]
+	c.mu.RUnlock()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.severed = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// KillConns forcibly closes every live connection of the inner
+// transport (ConnKiller), reporting how many died; zero when the inner
+// fabric has no connections to kill (Mem). The frames queued or in
+// flight on a killed connection are lost; the next send to that peer
+// redials.
+func (c *Chaos) KillConns() int {
+	k, ok := c.inner.(ConnKiller)
+	if !ok {
+		return 0
+	}
+	n := k.AbortConns()
+	c.nKilled.Add(int64(n))
+	return n
+}
+
+// ChaosStats snapshots the injected-fault counters.
+func (c *Chaos) ChaosStats() ChaosStats {
+	return ChaosStats{
+		Dropped:    c.nDropped.Load(),
+		Duplicated: c.nDuplicated.Load(),
+		Delayed:    c.nDelayed.Load(),
+		Killed:     c.nKilled.Load(),
+	}
+}
+
+// N implements Transport.
+func (c *Chaos) N() int { return c.inner.N() }
+
+// Hosts implements Transport.
+func (c *Chaos) Hosts(id network.NodeID) bool { return c.inner.Hosts(id) }
+
+// Bind implements Transport.
+func (c *Chaos) Bind(id network.NodeID, h Handler) { c.inner.Bind(id, h) }
+
+// Stats implements Transport. Dropped messages are counted under their
+// kind even though they never reached the inner fabric (a Send
+// happened; the fault ate it), so per-kind totals still account for
+// every Send. Duplicates count twice — both deliveries really crossed.
+func (c *Chaos) Stats() map[string]int64 {
+	out := c.inner.Stats()
+	for k, v := range c.dropped.snapshot() {
+		out[k] += v
+	}
+	return out
+}
+
+// Err forwards the inner transport's first asynchronous error, when it
+// exposes one (the TCP fabric).
+func (c *Chaos) Err() error {
+	if e, ok := c.inner.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// Tune implements WireTuner by forwarding when the inner transport is
+// tunable, so live.Config.Wire reaches a wrapped TCP fabric unchanged.
+func (c *Chaos) Tune(o WireOptions) {
+	if wt, ok := c.inner.(WireTuner); ok {
+		wt.Tune(o)
+	}
+}
+
+// SetShape implements ShapeValidator by forwarding.
+func (c *Chaos) SetShape(nodes, resources int) {
+	if sv, ok := c.inner.(ShapeValidator); ok {
+		sv.SetShape(nodes, resources)
+	}
+}
+
+// Send implements Transport.
+func (c *Chaos) Send(from, to network.NodeID, m network.Message) {
+	if !c.armed.Load() {
+		c.inner.Send(from, to, m)
+		return
+	}
+	c.dispatch(chaosItem{from: from, to: to, m: m}, m.Kind(), 1)
+}
+
+// SendBatch implements BatchSender. One batch is one wire envelope, so
+// it is one fault decision: dropped whole, duplicated whole, or
+// delivered whole after one delay — mirroring what killing or delaying
+// one socket write would do to a coalesced flush.
+func (c *Chaos) SendBatch(from, to network.NodeID, msgs []network.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if !c.armed.Load() {
+		c.innerSendBatch(from, to, msgs)
+		return
+	}
+	cp := append([]network.Message(nil), msgs...)
+	c.dispatch(chaosItem{from: from, to: to, msgs: cp}, "", len(cp))
+}
+
+// dispatch draws the link's next fault decision for one queued
+// delivery and enqueues it (once, twice, or not at all).
+func (c *Chaos) dispatch(it chaosItem, kind string, count int) {
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	l := c.link(linkKey{it.from, it.to})
+	if l == nil {
+		return // closed
+	}
+	f := c.faultsFor(it.from, it.to)
+	l.mu.Lock()
+	action, delay := l.decide(f, count)
+	if action == chaosDrop {
+		l.mu.Unlock()
+		c.nDropped.Add(int64(count))
+		if it.msgs != nil {
+			for _, m := range it.msgs {
+				c.dropped.count(m.Kind())
+			}
+		} else {
+			c.dropped.count(kind)
+		}
+		return
+	}
+	it.delay = delay
+	if delay > 0 {
+		c.nDelayed.Add(1)
+	}
+	l.queue = append(l.queue, it)
+	if action == chaosDup {
+		c.nDuplicated.Add(int64(count))
+		l.queue = append(l.queue, it)
+	}
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// faultsFor resolves the fault profile of one ordered link.
+func (c *Chaos) faultsFor(from, to network.NodeID) Faults {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if f, ok := c.over[linkKey{from, to}]; ok {
+		return f
+	}
+	return c.def
+}
+
+// decide draws one fault decision from the link's RNG and records it in
+// the trace (l.mu held). The draw sequence depends only on the fault
+// profile and the link's send order, which is what makes a seeded
+// schedule replay.
+func (l *chaosLink) decide(f Faults, count int) (action byte, delay time.Duration) {
+	if f.Drop > 0 && l.rng.Float64() < f.Drop {
+		action = chaosDrop
+	} else if f.Dup > 0 && l.rng.Float64() < f.Dup {
+		action = chaosDup
+	}
+	if action != chaosDrop && f.DelayMax > 0 {
+		delay = f.DelayMin
+		if span := f.DelayMax - f.DelayMin; span > 0 {
+			delay += time.Duration(l.rng.Int63n(int64(span) + 1))
+		}
+	}
+	l.trace = append(l.trace, action)
+	l.trace = binary.AppendUvarint(l.trace, uint64(count))
+	l.trace = binary.AppendUvarint(l.trace, uint64(delay))
+	return action, delay
+}
+
+// link returns (creating on first use) the fault pipeline of one
+// ordered pair, or nil when the wrapper is closed.
+func (c *Chaos) link(k linkKey) *chaosLink {
+	c.mu.RLock()
+	l, ok := c.links[k]
+	c.mu.RUnlock()
+	if ok {
+		return l
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l, ok = c.links[k]; ok {
+		return l
+	}
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	l = &chaosLink{rng: rand.New(rand.NewSource(linkSeed(c.seed, k)))}
+	l.cond.L = &l.mu
+	c.links[k] = l
+	c.wg.Add(1)
+	go c.forward(l)
+	return l
+}
+
+// linkSeed derives one link's RNG seed from the schedule seed and the
+// ordered pair — distinct per link, stable across runs.
+func linkSeed(seed int64, k linkKey) int64 {
+	return seed ^ (int64(k.from)+1)*1_000_003 ^ (int64(k.to)+1)*7_919_999
+}
+
+// forward drains one link's queue in FIFO order: wait out the severed
+// flag, then the item's drawn delay, then deliver through the inner
+// transport. One forwarder per ordered link is what preserves per-link
+// FIFO while faults reorder across links.
+func (c *Chaos) forward(l *chaosLink) {
+	defer c.wg.Done()
+	for {
+		l.mu.Lock()
+		for (len(l.queue) == 0 || l.severed) && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.queue = nil
+			l.mu.Unlock()
+			return
+		}
+		it := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		if it.delay > 0 {
+			t := time.NewTimer(it.delay)
+			select {
+			case <-t.C:
+			case <-c.closed:
+				t.Stop()
+				return
+			}
+		}
+		if it.msgs != nil {
+			c.innerSendBatch(it.from, it.to, it.msgs)
+		} else {
+			c.inner.Send(it.from, it.to, it.m)
+		}
+	}
+}
+
+// innerSendBatch delivers a run through the inner transport's batch
+// path when it has one.
+func (c *Chaos) innerSendBatch(from, to network.NodeID, msgs []network.Message) {
+	if bs, ok := c.inner.(BatchSender); ok {
+		bs.SendBatch(from, to, msgs)
+		return
+	}
+	for _, m := range msgs {
+		c.inner.Send(from, to, m)
+	}
+}
+
+// Trace serializes every link's decision log: links sorted by (from,
+// to), each as from, to, byte length, then the decisions in draw order
+// (action byte, message count, delay nanoseconds). Two runs with the
+// same seed, fault schedule, and per-link send order produce identical
+// bytes — the replay check the chaos tier pins.
+func (c *Chaos) Trace() []byte {
+	c.mu.RLock()
+	keys := make([]linkKey, 0, len(c.links))
+	for k := range c.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	var out []byte
+	for _, k := range keys {
+		l := c.links[k]
+		l.mu.Lock()
+		tr := append([]byte(nil), l.trace...)
+		l.mu.Unlock()
+		out = binary.AppendVarint(out, int64(k.from))
+		out = binary.AppendVarint(out, int64(k.to))
+		out = binary.AppendUvarint(out, uint64(len(tr)))
+		out = append(out, tr...)
+	}
+	c.mu.RUnlock()
+	return out
+}
+
+// Close implements Transport: stops every forwarder (undelivered queued
+// items are dropped, like frames on a closing socket) and closes the
+// inner transport. Idempotent.
+func (c *Chaos) Close() error {
+	c.closeMu.Lock()
+	select {
+	case <-c.closed:
+		c.closeMu.Unlock()
+		return nil
+	default:
+	}
+	close(c.closed)
+	c.closeMu.Unlock()
+	c.mu.RLock()
+	links := make([]*chaosLink, 0, len(c.links))
+	for _, l := range c.links {
+		links = append(links, l)
+	}
+	c.mu.RUnlock()
+	for _, l := range links {
+		l.mu.Lock()
+		l.closed = true
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+	c.wg.Wait()
+	return c.inner.Close()
+}
+
+// Spec is a serializable chaos schedule: the seed plus the default
+// fault profile and the connection-kill period. Its binary encoding
+// (Append/ParseSpec, or the hex String form mrallocd prints and
+// accepts) lets one run's schedule replay elsewhere: same spec + same
+// per-link send order = same fault decisions.
+type Spec struct {
+	Seed int64
+	Faults
+	// KillEvery, when positive, kills every live connection of the
+	// wrapped transport at this period (needs a ConnKiller inner).
+	KillEvery time.Duration
+}
+
+// specVersion versions the Spec encoding.
+const specVersion = 1
+
+// Append encodes s.
+func (s Spec) Append(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, specVersion)
+	dst = binary.AppendVarint(dst, s.Seed)
+	dst = binary.AppendUvarint(dst, math.Float64bits(s.Drop))
+	dst = binary.AppendUvarint(dst, math.Float64bits(s.Dup))
+	dst = binary.AppendUvarint(dst, uint64(s.DelayMin))
+	dst = binary.AppendUvarint(dst, uint64(s.DelayMax))
+	dst = binary.AppendUvarint(dst, uint64(s.KillEvery))
+	return dst
+}
+
+// String renders the spec as hex — the replay handle mrallocd prints
+// and its -chaos-spec flag parses back.
+func (s Spec) String() string { return hex.EncodeToString(s.Append(nil)) }
+
+// ParseSpec decodes and validates a Spec encoding.
+func ParseSpec(b []byte) (Spec, error) {
+	var s Spec
+	v, n := binary.Uvarint(b)
+	if n <= 0 || v != specVersion {
+		return s, fmt.Errorf("transport: chaos spec version %d, want %d", v, specVersion)
+	}
+	b = b[n:]
+	seed, n := binary.Varint(b)
+	if n <= 0 {
+		return s, fmt.Errorf("transport: chaos spec: truncated seed")
+	}
+	b = b[n:]
+	s.Seed = seed
+	fields := []struct {
+		name string
+		f    *float64
+		d    *time.Duration
+	}{
+		{"drop", &s.Drop, nil},
+		{"dup", &s.Dup, nil},
+		{"delay-min", nil, &s.DelayMin},
+		{"delay-max", nil, &s.DelayMax},
+		{"kill-every", nil, &s.KillEvery},
+	}
+	for _, fl := range fields {
+		u, n := binary.Uvarint(b)
+		if n <= 0 {
+			return Spec{}, fmt.Errorf("transport: chaos spec: truncated %s", fl.name)
+		}
+		b = b[n:]
+		if fl.f != nil {
+			p := math.Float64frombits(u)
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return Spec{}, fmt.Errorf("transport: chaos spec: %s %v outside [0,1]", fl.name, p)
+			}
+			*fl.f = p
+		} else {
+			if u > math.MaxInt64 {
+				return Spec{}, fmt.Errorf("transport: chaos spec: %s overflows", fl.name)
+			}
+			*fl.d = time.Duration(u)
+		}
+	}
+	if len(b) != 0 {
+		return Spec{}, fmt.Errorf("transport: chaos spec: %d trailing bytes", len(b))
+	}
+	if s.DelayMax < s.DelayMin {
+		return Spec{}, fmt.Errorf("transport: chaos spec: delay-max %v below delay-min %v", s.DelayMax, s.DelayMin)
+	}
+	return s, nil
+}
+
+// ParseSpecHex parses the hex form String produced.
+func ParseSpecHex(h string) (Spec, error) {
+	b, err := hex.DecodeString(h)
+	if err != nil {
+		return Spec{}, fmt.Errorf("transport: chaos spec hex: %w", err)
+	}
+	return ParseSpec(b)
+}
+
+// Apply arms the wrapper with the spec's default fault profile and,
+// when KillEvery is positive, starts the connection killer.
+func (c *Chaos) Apply(s Spec) {
+	if s.Faults.active() {
+		c.SetFaults(s.Faults)
+	}
+	if s.KillEvery > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			t := time.NewTicker(s.KillEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					c.KillConns()
+				case <-c.closed:
+					return
+				}
+			}
+		}()
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,9 +24,10 @@ import (
 // hostile length prefix from demanding gigabytes.
 const maxFrame = 1 << 24
 
-// dialWindow is how long a Send retries dialing a peer that is not up
-// yet, which absorbs multi-process startup races on loopback.
-const dialWindow = 10 * time.Second
+// defaultDialWindow is how long a Send retries dialing a peer that is
+// not up yet, which absorbs multi-process startup races on loopback.
+// SetDialWindow overrides it per endpoint.
+const defaultDialWindow = 10 * time.Second
 
 // closeFlushTimeout bounds how long Close waits for each connection's
 // coalescing writer to drain frames queued before the close.
@@ -102,6 +104,7 @@ type TCP struct {
 	fDelay  time.Duration
 	fDelayM time.Duration
 	window  int64
+	dialWin time.Duration // 0 = defaultDialWindow
 
 	peersMu sync.RWMutex
 	peers   []string // per node; nil until Connect
@@ -407,16 +410,49 @@ func (t *TCP) connFor(to network.NodeID) *outConn {
 	return t.conn(peers[to])
 }
 
+// SetDialWindow overrides how long a Send retries dialing an
+// unreachable peer (the default absorbs multi-process startup races;
+// chaos and failover tests shorten it so a killed peer costs bounded
+// retry time). Non-positive restores the default.
+func (t *TCP) SetDialWindow(d time.Duration) {
+	t.tuneMu.Lock()
+	t.dialWin = d
+	t.tuneMu.Unlock()
+}
+
+func (t *TCP) dialWindow() time.Duration {
+	t.tuneMu.Lock()
+	defer t.tuneMu.Unlock()
+	if t.dialWin > 0 {
+		return t.dialWin
+	}
+	return defaultDialWindow
+}
+
 // conn returns the (dialed) connection to addr, dialing with retries
-// inside dialWindow so that peers still starting up are absorbed.
+// inside the dial window so that peers still starting up are absorbed.
+// Every wait in the retry loop — the dial itself, the handshake, the
+// backoff sleep — observes Close, so a Send blocked behind a dead peer
+// unwinds the moment the transport shuts down instead of riding out
+// the window.
 func (t *TCP) conn(addr string) *outConn {
 	t.connMu.Lock()
 	oc, ok := t.conns[addr]
 	t.connMu.Unlock()
-	if ok {
+	if ok && !oc.broken.Load() {
 		return oc
 	}
-	deadline := time.Now().Add(dialWindow)
+	// ctx ends when the transport closes or this attempt gives up; the
+	// watcher goroutine lives exactly as long as the call.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(t.dialWindow()))
+	defer cancel()
+	go func() {
+		select {
+		case <-t.closed:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	var lastErr error
 	for {
 		select {
@@ -424,14 +460,16 @@ func (t *TCP) conn(addr string) *outConn {
 			return nil
 		default:
 		}
-		c, err := net.DialTimeout("tcp", addr, time.Second)
+		c, err := t.dialOnce(ctx, addr)
 		if err == nil {
-			// Negotiate before registering: the hello round trip happens
-			// outside connMu so a slow peer cannot stall dials to others.
 			hs, err := t.dialHandshake(c)
 			if err != nil {
 				c.Close()
-				t.fail(err)
+				select {
+				case <-t.closed: // a handshake cut short by Close is not a failure
+				default:
+					t.fail(err)
+				}
 				return nil
 			}
 			t.connMu.Lock()
@@ -444,23 +482,41 @@ func (t *TCP) conn(addr string) *outConn {
 				return nil
 			default:
 			}
-			if existing, ok := t.conns[addr]; ok {
+			if existing, ok := t.conns[addr]; ok && !existing.broken.Load() {
 				t.connMu.Unlock()
 				c.Close() // lost a dial race; use the winner
 				return existing
 			}
+			// No usable connection — either none, or a broken one still
+			// awaiting its writeFailed sweep; the fresh one replaces it
+			// (dropConn deletes by identity, so the sweep cannot evict
+			// this registration).
 			oc = t.newOutConn(c, hs)
 			t.conns[addr] = oc
 			t.connMu.Unlock()
 			return oc
 		}
 		lastErr = err
-		if time.Now().After(deadline) {
-			t.fail(fmt.Errorf("transport: dial %s: %w", addr, lastErr))
+		select {
+		case <-ctx.Done():
+			select {
+			case <-t.closed:
+			default:
+				t.fail(fmt.Errorf("transport: dial %s: %w", addr, lastErr))
+			}
 			return nil
+		case <-time.After(50 * time.Millisecond):
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+// dialOnce is one bounded dial attempt that aborts when ctx ends —
+// the transport closing or the dial window expiring.
+func (t *TCP) dialOnce(ctx context.Context, addr string) (net.Conn, error) {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	var d net.Dialer
+	return d.DialContext(dctx, "tcp", addr)
 }
 
 // negotiated carries a dial handshake's outcome into connection setup:
@@ -482,6 +538,18 @@ func (t *TCP) dialHandshake(c net.Conn) (negotiated, error) {
 	if t.noHello.Load() {
 		return negotiated{}, nil
 	}
+	// The handshake deadline caps a silent peer, but a transport
+	// shutting down must not ride it out: closing the socket unblocks
+	// the exchange the moment Close runs.
+	hsDone := make(chan struct{})
+	defer close(hsDone)
+	go func() {
+		select {
+		case <-t.closed:
+			c.Close()
+		case <-hsDone:
+		}
+	}()
 	mine := t.localHello()
 	c.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer c.SetDeadline(time.Time{})
@@ -592,6 +660,27 @@ func (t *TCP) creditLoop(oc *outConn, br *bufio.Reader) {
 			// Unknown reverse-path control from a future build: skip.
 		}
 	}
+}
+
+// AbortConns forcibly closes every currently dialed connection's
+// socket without marking it broken — exactly what a peer crash or a
+// cut cable does. The flusher's next write fails, which runs the
+// broken-flag redial path: frames queued or in flight on the killed
+// connection are lost, and the next Send to that peer dials fresh
+// (new handshake, new per-connection codec state). Reports how many
+// connections were killed. This is the chaos wrapper's ConnKiller
+// hook; it is exported for tests driving kills directly.
+func (t *TCP) AbortConns() int {
+	t.connMu.Lock()
+	conns := make([]*outConn, 0, len(t.conns))
+	for _, oc := range t.conns {
+		conns = append(conns, oc)
+	}
+	t.connMu.Unlock()
+	for _, oc := range conns {
+		oc.c.Close()
+	}
+	return len(conns)
 }
 
 // writeFailed runs on a connection's flusher goroutine when a write
@@ -844,10 +933,12 @@ func (t *TCP) Close() error {
 		t.connMu.Unlock()
 		for _, oc := range conns {
 			// Flush what was queued before the close, but bound the
-			// attempt: a stuck peer must not hang Close, and the write
-			// deadline unwinds a flusher blocked mid-Write.
+			// attempt twice over: the write deadline unwinds a flusher
+			// blocked mid-Write, and the bounded close join covers
+			// writers that ignore deadlines (wrapped conns) — Close must
+			// never hang behind a stuck peer.
 			oc.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
-			oc.co.Close()
+			oc.co.CloseWithin(2 * closeFlushTimeout)
 			oc.c.Close()
 			t.retire(oc)
 		}

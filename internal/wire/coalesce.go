@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/bits"
@@ -423,7 +424,54 @@ func (c *Coalescer) Stats() CoalescerStats {
 // Close flushes anything still queued (cutting a pending micro-delay
 // short), stops the flusher, and returns the first write error, if
 // any. Idempotent.
+//
+// Close waits for the flusher to exit, so a flusher stuck in a Write
+// that never returns blocks it forever — close the underlying
+// connection first, set a write deadline on it, or use CloseWithin.
 func (c *Coalescer) Close() error {
+	c.beginClose()
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// ErrCloseTimeout reports a CloseWithin that gave up waiting for the
+// flusher: the close is committed (no more frames will be accepted)
+// but the flusher is still stuck in a write and frames may be lost
+// when the connection dies.
+var ErrCloseTimeout = errors.New("wire: coalescer close timed out awaiting flusher")
+
+// CloseWithin is Close bounded by a deadline: it commits the close,
+// then waits at most d for the flusher to drain and exit. On timeout
+// it returns ErrCloseTimeout and abandons the flusher — which exits on
+// its own as soon as its blocked write returns, releasing every queued
+// frame either way. Callers tearing down a connection that may be
+// wedged (a peer that stopped reading and ignores deadlines) use this
+// so shutdown latency is bounded by d, not by the peer. d <= 0 waits
+// forever, exactly like Close. Idempotent and safe to mix with Close.
+func (c *Coalescer) CloseWithin(d time.Duration) error {
+	c.beginClose()
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-c.done:
+		case <-t.C:
+			return ErrCloseTimeout
+		}
+	} else {
+		<-c.done
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// beginClose commits the close: no more appends are accepted, the
+// flusher is woken to drain what is queued, and everyone blocked on
+// flow control is released.
+func (c *Coalescer) beginClose() {
 	c.mu.Lock()
 	if !c.closed {
 		c.closed = true
@@ -435,10 +483,6 @@ func (c *Coalescer) Close() error {
 		c.creditCond.Broadcast()
 	}
 	c.mu.Unlock()
-	<-c.done
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.err
 }
 
 // Adaptive flush controller constants: widen while drains average

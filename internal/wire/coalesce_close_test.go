@@ -1,0 +1,81 @@
+package wire_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mralloc/internal/wire"
+)
+
+// blockingWriter blocks every Write until release is closed — a peer
+// that stopped reading and ignores deadlines, the documented way to
+// wedge a Coalescer.Close forever.
+type blockingWriter struct {
+	entered chan struct{} // closed when the first Write is reached
+	release chan struct{}
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	select {
+	case <-w.entered:
+	default:
+		close(w.entered)
+	}
+	<-w.release
+	return len(p), nil
+}
+
+// TestCloseWithinBoundedByDeadline: with the flusher stuck in a write
+// that never returns, CloseWithin must give up after its deadline with
+// ErrCloseTimeout instead of hanging like Close would — and the
+// abandoned flusher must still exit cleanly once the write unblocks.
+func TestCloseWithinBoundedByDeadline(t *testing.T) {
+	w := &blockingWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	co := wire.NewCoalescer(w, 0, nil)
+	if !co.Append([]byte("stuck")) {
+		t.Fatal("append refused")
+	}
+	select {
+	case <-w.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never reached the write")
+	}
+	start := time.Now()
+	err := co.CloseWithin(50 * time.Millisecond)
+	if !errors.Is(err, wire.ErrCloseTimeout) {
+		t.Fatalf("CloseWithin = %v, want ErrCloseTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("CloseWithin took %v against a stuck flusher", d)
+	}
+	// The close is committed: no more frames may enter.
+	if co.Append([]byte("late")) {
+		t.Fatal("append accepted after CloseWithin")
+	}
+	// Unblock the write: the abandoned flusher exits and a second
+	// bounded close now joins it promptly.
+	close(w.release)
+	if err := co.CloseWithin(5 * time.Second); err != nil {
+		t.Fatalf("CloseWithin after unblock: %v", err)
+	}
+}
+
+// TestCloseWithinDrainsQueued: with a healthy writer, CloseWithin is
+// exactly Close — everything queued flushes before it returns.
+func TestCloseWithinDrainsQueued(t *testing.T) {
+	w := &blockingWriter{entered: make(chan struct{}), release: make(chan struct{})}
+	close(w.release) // healthy: writes return immediately
+	co := wire.NewCoalescer(w, 0, nil)
+	for i := 0; i < 10; i++ {
+		if !co.Append([]byte("frame")) {
+			t.Fatal("append refused")
+		}
+	}
+	if err := co.CloseWithin(5 * time.Second); err != nil {
+		t.Fatalf("CloseWithin: %v", err)
+	}
+	if st := co.Stats(); st.Frames != 10 {
+		t.Fatalf("flushed %d frames before close, want 10", st.Frames)
+	}
+}
