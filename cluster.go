@@ -31,6 +31,14 @@ const (
 	// (see AcquireOpts.Deadline); requests without deadlines go last,
 	// in arrival order.
 	PolicyEDF Policy = "edf"
+	// PolicyAdaptive closes the loop on observed load: each node tracks
+	// EWMAs of queue depth, grant latency and slot occupancy, orders the
+	// queue EDF when calm and smallest-first under pressure, and
+	// self-tunes an admission bound (Little's law against the
+	// WithAdmitTarget latency target) past which a multi-process
+	// deployment's client port sheds arrivals early instead of queueing
+	// them beyond the saturation knee.
+	PolicyAdaptive Policy = "adaptive"
 )
 
 // Errors a cluster's acquires can return, beyond context errors.
@@ -122,18 +130,20 @@ type WireConfig struct {
 type Option func(*clusterOptions)
 
 type clusterOptions struct {
-	policy     Policy
-	havePolicy bool
-	aging      time.Duration
-	haveAging  bool
-	wire       WireConfig
-	haveWire   bool
-	window     int64
-	haveWindow bool
+	policy      Policy
+	havePolicy  bool
+	aging       time.Duration
+	haveAging   bool
+	wire        WireConfig
+	haveWire    bool
+	window      int64
+	haveWindow  bool
+	admitTarget time.Duration
 }
 
 // WithPolicy selects the admission-scheduling policy (PolicyFIFO,
-// PolicySSF, PolicyEDF), overriding ClusterConfig.Policy.
+// PolicySSF, PolicyEDF, PolicyAdaptive), overriding
+// ClusterConfig.Policy.
 func WithPolicy(p Policy) Option {
 	return func(o *clusterOptions) { o.policy = p; o.havePolicy = true }
 }
@@ -157,6 +167,13 @@ func WithWire(w WireConfig) Option {
 // configured: zero the default, negative disables crediting.
 func WithWindow(bytes int64) Option {
 	return func(o *clusterOptions) { o.window = bytes; o.haveWindow = true }
+}
+
+// WithAdmitTarget sets PolicyAdaptive's grant-latency target: the
+// sojourn the self-tuned admission bound aims to keep queued requests
+// under (zero selects the built-in default). Other policies ignore it.
+func WithAdmitTarget(d time.Duration) Option {
+	return func(o *clusterOptions) { o.admitTarget = d }
 }
 
 // Cluster is a running in-process multi-resource lock manager. All
@@ -218,12 +235,13 @@ func NewCluster(cfg ClusterConfig, opts ...Option) (*Cluster, error) {
 		return nil, fmt.Errorf("mralloc: wire options apply to multi-process clusters only")
 	}
 	lcfg := live.Config{
-		Nodes:     cfg.Nodes,
-		Resources: cfg.Resources,
-		Latency:   cfg.Latency,
-		Policy:    policy,
-		Aging:     aging,
-		Wire:      wire,
+		Nodes:       cfg.Nodes,
+		Resources:   cfg.Resources,
+		Latency:     cfg.Latency,
+		Policy:      policy,
+		Aging:       aging,
+		AdmitTarget: o.admitTarget,
+		Wire:        wire,
 	}
 	if len(cfg.Peers) > 0 {
 		if len(cfg.Peers) != cfg.Nodes {

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                  # full grid -> BENCH_3.json
+//	go run ./cmd/bench                  # full grid -> BENCH_4.json
 //	go run ./cmd/bench -out other.json
 //	go run ./cmd/bench -run sim/n32     # scenario name filter (substring)
 //	go run ./cmd/bench -run largeN      # just the payload-path tier
+//	go run ./cmd/bench -merge BENCH_3.json -run openloop
+//	                                    # keep BENCH_3's rows byte-identical,
+//	                                    # run and append only the new tier
 //	go run ./cmd/bench -capture-baseline # print Go literal for baseline.go
 //
 // The scenario grid, seeds, and protocol metrics (msg/cs, grants,
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,14 +27,38 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output report path")
+	out := flag.String("out", "BENCH_4.json", "output report path")
 	filter := flag.String("run", "", "only run scenarios whose name contains this substring")
+	merge := flag.String("merge", "", "prior report whose rows are kept verbatim; scenarios it already has are skipped, new ones appended")
 	capture := flag.Bool("capture-baseline", false, "print the measurements as a Go literal for baseline.go instead of writing the report")
 	flag.Parse()
+
+	var prior *bench.Report
+	if *merge != "" {
+		data, err := os.ReadFile(*merge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		prior = &bench.Report{}
+		if err := json.Unmarshal(data, prior); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *merge, err)
+			os.Exit(1)
+		}
+	}
+	have := map[string]bool{}
+	if prior != nil {
+		for _, r := range prior.Current {
+			have[r.Scenario] = true
+		}
+	}
 
 	var results []bench.Result
 	for _, s := range bench.Grid() {
 		if *filter != "" && !strings.Contains(s.Name, *filter) {
+			continue
+		}
+		if have[s.Name] {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", s.Name)
@@ -52,6 +80,9 @@ func main() {
 	}
 
 	report := bench.NewReport(results)
+	if prior != nil {
+		report = bench.MergeReports(*prior, report)
+	}
 	data, err := report.Marshal()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)

@@ -67,6 +67,7 @@ type daemonConfig struct {
 	clientListen     string
 	policyStr        string
 	maxQueue         int
+	admitTarget      time.Duration
 	pprofAddr        string
 	wireDelta        bool
 	wireWritev       bool
@@ -94,8 +95,9 @@ func main() {
 	flag.StringVar(&cfg.localCSV, "local", "0", "comma-separated node ids hosted by this process")
 	flag.IntVar(&cfg.ops, "ops", 0, "random acquire/release cycles per local node (0 = serve until signal)")
 	flag.StringVar(&cfg.clientListen, "client-listen", "", "TCP address of the client port (empty = no client port)")
-	flag.StringVar(&cfg.policyStr, "policy", "fifo", "admission policy for multiplexed sessions: fifo, ssf, edf")
+	flag.StringVar(&cfg.policyStr, "policy", "fifo", "admission policy for multiplexed sessions: fifo, ssf, edf, adaptive")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "deny client acquires with ErrOverloaded once a node has this many waiting (0 = unbounded)")
+	flag.DurationVar(&cfg.admitTarget, "admit-target", 0, "adaptive policy's grant-latency target; its self-tuned bound sheds client acquires that cannot meet it (0 = built-in default; other policies ignore it)")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.BoolVar(&cfg.wireDelta, "wire-delta", true, "delta-encode token state on peer connections; every daemon of the cluster must run a delta-aware build (pass =false to interoperate with pre-delta peers)")
 	flag.BoolVar(&cfg.wireWritev, "wire-writev", true, "vectored (writev) egress for batched peer frames")
@@ -209,11 +211,12 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	cluster, err := live.New(live.Config{
-		Nodes:     nodes,
-		Resources: resources,
-		Transport: clusterTr,
-		Local:     local,
-		Policy:    policy,
+		Nodes:       nodes,
+		Resources:   resources,
+		Transport:   clusterTr,
+		Local:       local,
+		Policy:      policy,
+		AdmitTarget: cfg.admitTarget,
 		Wire: transport.WireOptions{
 			Delta:         cfg.wireDelta,
 			NoVectored:    !cfg.wireWritev,
@@ -231,7 +234,7 @@ func run(cfg daemonConfig) error {
 		local, nodes, cfg.algName, resources, tr.Addr())
 
 	if cfg.clientListen != "" {
-		srv, err := serve.NewServer(serve.ServerConfig{
+		scfg := serve.ServerConfig{
 			Listen:       cfg.clientListen,
 			Nodes:        nodes,
 			Resources:    resources,
@@ -239,7 +242,15 @@ func run(cfg daemonConfig) error {
 			MaxQueue:     cfg.maxQueue,
 			EgressBudget: cfg.egressBudget,
 			Open:         func(node int) (serve.BackendSession, error) { return cluster.NewSession(node) },
-		})
+		}
+		if policy == serve.Adaptive {
+			// The adaptive load oracle: the client port consults each
+			// node's self-tuned bound before queueing and reports the
+			// denials back into its shed-rate tracking.
+			scfg.Overloaded = cluster.Overloaded
+			scfg.NoteShed = cluster.NoteShed
+		}
+		srv, err := serve.NewServer(scfg)
 		if err != nil {
 			return err
 		}

@@ -329,6 +329,7 @@ func Grid() []Scenario {
 	out = append(out, TCPLoopGrid()...)
 	out = append(out, LargeNGrid()...)
 	out = append(out, BackpressureGrid()...)
+	out = append(out, OpenLoopGrid()...)
 	return out
 }
 
@@ -371,6 +372,21 @@ func Measure(s Scenario) Result {
 	}
 	if v, ok := r.Extra["avg_batch_frames"]; ok {
 		res.AvgBatchFrames = round3(v)
+	}
+	if v, ok := r.Extra["offered_rps"]; ok {
+		res.OfferedRPS = round3(v)
+	}
+	if v, ok := r.Extra["grant_rps"]; ok {
+		res.GrantRPS = round3(v)
+	}
+	if v, ok := r.Extra["goodput_rps"]; ok {
+		res.GoodputRPS = round3(v)
+	}
+	if v, ok := r.Extra["shed_rate"]; ok {
+		res.ShedRate = round3(v)
+	}
+	if v, ok := r.Extra["slo_max_rps"]; ok {
+		res.SLOMaxRPS = round3(v)
 	}
 	if res.NsPerOp > 0 {
 		ops := 1e9 / float64(res.NsPerOp)

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"mralloc/internal/serve"
+)
+
+func TestOpenLoopConfigValidation(t *testing.T) {
+	if _, err := RunOpenLoop(OpenLoopConfig{Nodes: 3, Policy: serve.FIFO, RPS: 100}); err == nil {
+		t.Error("odd node count accepted")
+	}
+	if _, err := RunOpenLoop(OpenLoopConfig{Nodes: 4, Policy: serve.FIFO}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := RunOpenLoop(OpenLoopConfig{Nodes: 4, Policy: "bogus", RPS: 100}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := FindSLO(OpenLoopConfig{Nodes: 4, Policy: serve.FIFO}, time.Second, 1000, 500); err == nil {
+		t.Error("inverted SLO search range accepted")
+	}
+}
+
+func TestMergeReportsKeepsPriorRows(t *testing.T) {
+	prior := Report{
+		Schema:  Schema,
+		Notes:   []string{"old note"},
+		Current: []Result{{Scenario: "a", NsPerOp: 1}, {Scenario: "b", NsPerOp: 2}},
+		Deltas:  []Delta{{Scenario: "a", NsRatio: 1}},
+	}
+	next := Report{
+		Notes:   []string{"old note", "new note"},
+		Current: []Result{{Scenario: "b", NsPerOp: 99}, {Scenario: "c", NsPerOp: 3}},
+		Deltas:  []Delta{{Scenario: "c", NsRatio: 2}},
+	}
+	got := MergeReports(prior, next)
+	if len(got.Current) != 3 || got.Current[0].Scenario != "a" || got.Current[1].NsPerOp != 2 || got.Current[2].Scenario != "c" {
+		t.Fatalf("merged rows wrong: %+v", got.Current)
+	}
+	if len(got.Notes) != 2 || got.Notes[1] != "new note" {
+		t.Fatalf("merged notes wrong: %v", got.Notes)
+	}
+	if len(got.Deltas) != 2 {
+		t.Fatalf("merged deltas wrong: %+v", got.Deltas)
+	}
+}
+
+// TestOpenLoopCollapseVsAdaptive is the tier's pinned claim: offered
+// load strictly past capacity collapses an unbounded FIFO queue (p99
+// at timeout scale) while the Adaptive policy sheds early and holds
+// the survivors' p99 inside the SLO — at a goodput (grants within the
+// SLO) no worse than FIFO's, whose grants arrive too late to count.
+// The rate is placed relative to this machine's measured closed-loop
+// capacity, so the cell is past the knee on any hardware.
+func TestOpenLoopCollapseVsAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop cells need real wall-clock windows")
+	}
+	capacity, err := CalibrateOpenLoopCapacity(4, 16, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 1.1 * capacity
+	t.Logf("closed-loop capacity ≈ %.0f/s, offering %.0f/s", capacity, rate)
+	run := func(policy serve.Policy) OpenLoopResult {
+		cfg := OpenLoopConfig{Nodes: 4, Policy: policy, RPS: rate, Seed: 7,
+			Warmup: 200 * time.Millisecond, Window: 600 * time.Millisecond,
+			Timeout: 500 * time.Millisecond}
+		if policy == serve.Adaptive {
+			cfg.AdmitTarget = openLoopAdmitTarget
+		}
+		res, err := RunOpenLoop(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-8s offered=%.0f grant=%.0f goodput=%.0f shed=%.3f p50=%.1f p99=%.1fms",
+			policy, res.Offered, res.Throughput, res.Goodput, res.ShedRate,
+			res.Sojourn.P50, res.Sojourn.P99)
+		return res
+	}
+	fifo := run(serve.FIFO)
+	adaptive := run(serve.Adaptive)
+
+	slo := float64(openLoopSLOTarget) / float64(time.Millisecond)
+	if fifo.Sojourn.P99 < 3*slo {
+		t.Errorf("FIFO past the knee should collapse: p99 = %.1fms, want ≥ %.0fms", fifo.Sojourn.P99, 3*slo)
+	}
+	if adaptive.Sojourn.P99 > 3*slo {
+		t.Errorf("adaptive p99 = %.1fms, want ≤ %.0fms", adaptive.Sojourn.P99, 3*slo)
+	}
+	if adaptive.Goodput < fifo.Goodput {
+		t.Errorf("adaptive goodput %.0f/s below FIFO's %.0f/s", adaptive.Goodput, fifo.Goodput)
+	}
+	if adaptive.Shed == 0 {
+		t.Error("adaptive shed nothing past the knee — it must deny, not queue unboundedly")
+	}
+	if fifo.Shed != 0 {
+		t.Errorf("unbounded FIFO has no shedding edge, yet shed %d", fifo.Shed)
+	}
+}
+
+// TestOpenLoopSmoke is the CI regression gate over the committed
+// BENCH_4.json: the openloop rows must exist with the tier's columns
+// (schema drift fails), and a capped SLO search on this machine must
+// sustain at least 90% of min(committed adaptive slo_max_rps, cap).
+// The cap keeps the gate meaningful across hardware: it checks "the
+// fabric still sustains a modest rate within the SLO", not "this
+// runner is as fast as the one that wrote the report".
+func TestOpenLoopSmoke(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_4.json")
+	if err != nil {
+		t.Fatalf("committed report missing: %v", err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_4.json: %v", err)
+	}
+	if report.Schema != Schema {
+		t.Fatalf("BENCH_4.json schema %q, want %q", report.Schema, Schema)
+	}
+	rows := map[string]Result{}
+	for _, r := range report.Current {
+		rows[r.Scenario] = r
+	}
+	var committedSLO float64
+	for _, s := range OpenLoopGrid() {
+		r, ok := rows[s.Name]
+		if !ok {
+			t.Errorf("BENCH_4.json lacks committed row %q", s.Name)
+			continue
+		}
+		switch {
+		case s.Name == "openloop/n4/adaptive/slo":
+			committedSLO = r.SLOMaxRPS
+			fallthrough
+		case s.Name == "openloop/n4/fifo/slo":
+			if r.SLOMaxRPS <= 0 {
+				t.Errorf("row %q has no slo_max_rps", s.Name)
+			}
+		default:
+			if r.OfferedRPS <= 0 || r.WaitP99MS <= 0 {
+				t.Errorf("row %q lacks tier columns (offered_rps=%v wait_p99_ms=%v)",
+					s.Name, r.OfferedRPS, r.WaitP99MS)
+			}
+		}
+	}
+	if t.Failed() || testing.Short() {
+		return
+	}
+
+	const searchCap = 6000.0
+	want := committedSLO
+	if want > searchCap {
+		want = searchCap
+	}
+	cfg := OpenLoopConfig{Nodes: 4, Policy: serve.Adaptive, AdmitTarget: openLoopAdmitTarget, Seed: 7,
+		Warmup: 200 * time.Millisecond, Window: 600 * time.Millisecond, Timeout: 500 * time.Millisecond}
+	slo, err := FindSLO(cfg, openLoopSLOTarget, 750, searchCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive sustains %.0f RPS within %v (goodput %.0f/s, p99 %.1fms, %d cells; committed %.0f)",
+		slo.MaxRPS, openLoopSLOTarget, slo.Goodput, slo.P99MS, slo.Cells, committedSLO)
+	if slo.MaxRPS < 0.9*want {
+		t.Errorf("sustained RPS at SLO regressed: %.0f < 90%% of %.0f", slo.MaxRPS, want)
+	}
+}

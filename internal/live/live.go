@@ -68,6 +68,10 @@ type Config struct {
 	// threshold (serve.DefaultAging when zero).
 	Policy serve.Policy
 	Aging  time.Duration
+	// AdmitTarget is the grant-latency target the Adaptive policy
+	// tunes its admission bound and ordering mode toward
+	// (serve.DefaultAdmitTarget when zero; ignored by fixed policies).
+	AdmitTarget time.Duration
 	// Wire tunes the egress wire path of a tunable Transport
 	// (transport.WireTuner — the TCP fabric): delta-encoded token
 	// state, vectored writes, flush scheduling, handshake and window
@@ -257,6 +261,34 @@ func (c *Cluster) QueueLen(id int) int {
 	}
 }
 
+// Overloaded asks node id's Adaptive admission bound whether an
+// arrival of the given size should be shed rather than queued. It
+// reads the scheduler's atomically published load snapshot — no trip
+// through the node loop — so it is cheap enough for a server's
+// admission fast path. Always false for fixed policies and non-local
+// nodes; the caller records an actual denial with NoteShed.
+func (c *Cluster) Overloaded(id, size int) bool {
+	return c.Local(id) && c.loops[id].sched.Overloaded(size)
+}
+
+// NoteShed records an overload denial against node id's load
+// statistics (feeding the Adaptive policy's denial-rate EWMA). Safe
+// from any goroutine; a no-op for fixed policies and non-local nodes.
+func (c *Cluster) NoteShed(id int) {
+	if c.Local(id) {
+		c.loops[id].sched.NoteShed()
+	}
+}
+
+// NodeLoad returns node id's admission-load snapshot (the zero Load
+// for fixed policies and non-local nodes). Safe from any goroutine.
+func (c *Cluster) NodeLoad(id int) serve.Load {
+	if !c.Local(id) {
+		return serve.Load{}
+	}
+	return c.loops[id].sched.Load()
+}
+
 // Close stops every local node loop and closes the transport. Every
 // outstanding or queued Acquire fails promptly with ErrClosed, and all
 // loop goroutines exit. Close is idempotent.
@@ -416,6 +448,9 @@ func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
 		node:  node,
 		sched: serve.NewScheduler(c.cfg.Policy, sim.Time(c.cfg.Aging)),
 	}
+	if c.cfg.AdmitTarget > 0 {
+		l.sched.SetTarget(sim.Time(c.cfg.AdmitTarget))
+	}
 	l.mb.nonEmpty.L = &l.mb.mu
 	return l
 }
@@ -561,6 +596,7 @@ func (l *loop) release(t *ticket) {
 	if l.inflight != t || !t.inCS {
 		return
 	}
+	l.sched.ObserveService(l.c.now() - t.admitted)
 	l.node.Release()
 	l.inflight = nil
 	l.maybeAdmit()
@@ -578,6 +614,7 @@ func (l *loop) cancel(t *ticket) {
 		t.abandoned = true
 	case l.inflight == t && t.inCS:
 		// Granted, caller didn't take it: give the resources back now.
+		l.sched.ObserveService(l.c.now() - t.admitted)
 		l.node.Release()
 		l.inflight = nil
 		l.maybeAdmit()

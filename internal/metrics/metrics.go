@@ -76,6 +76,54 @@ func (a *Accum) Summary() Summary {
 	return s
 }
 
+// Snapshot returns the Summary of everything Added since the previous
+// Snapshot (or since creation) and resets the accumulator — including
+// the P² quantile markers, which otherwise converge over the whole
+// lifetime of the Accum and cannot report per-interval quantiles.
+// Open-loop load drivers call this at each reporting interval (and at
+// the warmup boundary, discarding the transient window).
+func (a *Accum) Snapshot() Summary {
+	s := a.Summary()
+	*a = Accum{}
+	return s
+}
+
+// EWMA is an exponentially weighted moving average: each Observe moves
+// the value alpha of the way toward the sample, so recent load counts
+// geometrically more than history. The zero value is unusable — use
+// NewEWMA, which also seeds the first sample directly instead of
+// averaging it against zero.
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA creates an average with the given smoothing factor in (0, 1];
+// out-of-range values are clamped to 0.1 (a half-life of ~6.6 samples).
+func NewEWMA(alpha float64) EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	return EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in and returns the updated average.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.init {
+		e.v, e.init = x, true
+		return x
+	}
+	e.v += e.alpha * (x - e.v)
+	return e.v
+}
+
+// Value reports the current average (zero before any sample).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Seen reports whether any sample has been observed.
+func (e *EWMA) Seen() bool { return e.init }
+
 // UseRate tracks per-resource busy intervals and reports the aggregate
 // use rate over a measurement window.
 type UseRate struct {

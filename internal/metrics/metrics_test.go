@@ -318,3 +318,79 @@ func TestQuantilesSorted(t *testing.T) {
 		t.Errorf("p99 = %v, want ≈%v", s.P99, int(0.99*float64(n)))
 	}
 }
+
+func TestSnapshotWindows(t *testing.T) {
+	var a Accum
+	for _, x := range []float64{1, 2, 3} {
+		a.Add(x)
+	}
+	w1 := a.Snapshot()
+	if w1.Count != 3 || w1.Mean != 2 || w1.Min != 1 || w1.Max != 3 {
+		t.Fatalf("first window = %+v", w1)
+	}
+	// The second window must see only its own samples: counts, extrema
+	// AND quantile markers all restart.
+	for _, x := range []float64{100, 100, 100, 100} {
+		a.Add(x)
+	}
+	w2 := a.Snapshot()
+	if w2.Count != 4 || w2.Mean != 100 || w2.Min != 100 || w2.P99 != 100 {
+		t.Fatalf("second window leaked the first: %+v", w2)
+	}
+	if empty := a.Snapshot(); empty.Count != 0 {
+		t.Fatalf("post-snapshot accumulator not empty: %+v", empty)
+	}
+}
+
+func TestSnapshotResetsQuantileMarkers(t *testing.T) {
+	// Saturate the P² markers with large samples, snapshot, then feed a
+	// small-valued window: if the markers survived the reset, the new
+	// window's quantiles would be dragged far above its true range.
+	var a Accum
+	for i := 0; i < 1000; i++ {
+		a.Add(1e6)
+	}
+	a.Snapshot()
+	for i := 0; i < 1000; i++ {
+		a.Add(1)
+	}
+	s := a.Summary()
+	if s.P50 != 1 || s.P99 != 1 {
+		t.Fatalf("stale quantile markers after Snapshot: %+v", s)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Seen() {
+		t.Fatal("fresh EWMA claims samples")
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("first sample seeds directly: got %v", got)
+	}
+	if got := e.Observe(20); got != 15 {
+		t.Fatalf("alpha 0.5 step: got %v want 15", got)
+	}
+	if got := e.Observe(15); got != 15 {
+		t.Fatalf("steady sample moves value: got %v", got)
+	}
+	if !e.Seen() || e.Value() != 15 {
+		t.Fatalf("Seen/Value = %v/%v", e.Seen(), e.Value())
+	}
+	// Out-of-range alpha clamps rather than producing a frozen average.
+	c := NewEWMA(-3)
+	c.Observe(0)
+	if got := c.Observe(100); got != 10 {
+		t.Fatalf("clamped alpha: got %v want 10", got)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 200; i++ {
+		e.Observe(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("did not converge: %v", e.Value())
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Backoff schedules jittered exponential retry delays for
+// ErrOverloaded denials. A shedding daemon denies a whole burst of
+// arrivals at once; if they all retried after the same fixed delay
+// they would land as the same burst again (a retry storm that keeps
+// the node at its bound forever). Jitter decorrelates them: attempt n
+// sleeps uniformly in [d/2, d] with d = min(Max, Base·2ⁿ) — "equal
+// jitter", which spreads a synchronized burst over half the window
+// while keeping a floor under the delay so retries do still back off.
+//
+// The zero value is usable: DefaultBackoffBase/Max and unlimited
+// attempts (the caller's context bounds the total wait).
+type Backoff struct {
+	// Base is the first retry's delay ceiling (DefaultBackoffBase when
+	// zero or negative).
+	Base time.Duration
+	// Max caps the per-attempt delay ceiling however many attempts
+	// have failed (DefaultBackoffMax when zero or negative).
+	Max time.Duration
+	// Attempts, when positive, bounds the total number of acquisition
+	// attempts (so Attempts=1 never retries). Zero or negative retries
+	// until the context ends.
+	Attempts int
+
+	// rnd and sleep are test seams: a deterministic uniform source in
+	// [0,1) and a recording sleeper. Nil selects math/rand and a real
+	// context-aware timer sleep.
+	rnd   func() float64
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+const (
+	// DefaultBackoffBase: the first retry lands within a couple of
+	// milliseconds — a shedding node's queue drains in service-time
+	// units, not seconds.
+	DefaultBackoffBase = 2 * time.Millisecond
+	// DefaultBackoffMax keeps a long-overloaded daemon from pushing
+	// retry delays past human-noticeable latency.
+	DefaultBackoffMax = 250 * time.Millisecond
+)
+
+// delay computes the jittered sleep before retry attempt (0-based
+// attempt index of the retry, i.e. after attempt+1 failures).
+func (b *Backoff) delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	rnd := b.rnd
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Equal jitter: uniform in [d/2, d].
+	return d/2 + time.Duration(rnd()*float64(d/2))
+}
+
+// wait sleeps the attempt's jittered delay, returning early with the
+// context's error if it ends first.
+func (b *Backoff) wait(ctx context.Context, attempt int) error {
+	sleep := b.sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	return sleep(ctx, b.delay(attempt))
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryOverloaded runs acquire under b's schedule: only ErrOverloaded
+// denials are retried — any other error, a nil error, or the context
+// ending is returned as-is.
+func retryOverloaded(ctx context.Context, b *Backoff, acquire func() (func(), error)) (func(), error) {
+	for attempt := 0; ; attempt++ {
+		release, err := acquire()
+		if err == nil || !errors.Is(err, ErrOverloaded) {
+			return release, err
+		}
+		if b.Attempts > 0 && attempt+1 >= b.Attempts {
+			return nil, err
+		}
+		if serr := b.wait(ctx, attempt); serr != nil {
+			return nil, serr
+		}
+	}
+}

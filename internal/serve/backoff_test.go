@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock records the sleeps retryOverloaded asks for instead of
+// actually waiting — the deterministic clock of the backoff tests.
+type fakeClock struct {
+	slept  []time.Duration
+	cancel context.CancelFunc // when set, fired after cancelAt sleeps
+	after  int
+}
+
+func (fc *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	fc.slept = append(fc.slept, d)
+	if fc.cancel != nil && len(fc.slept) >= fc.after {
+		fc.cancel()
+	}
+	return ctx.Err()
+}
+
+func TestBackoffDelayScheduleDeterministic(t *testing.T) {
+	// rnd pinned to 1.0⁻ gives the ceiling of each window, rnd 0 the
+	// floor: attempt n sleeps in [d/2, d] with d = min(Max, Base·2ⁿ).
+	almostOne := func() float64 { return 0.9999999999999999 }
+	zero := func() float64 { return 0 }
+	b := Backoff{Base: 4 * time.Millisecond, Max: 20 * time.Millisecond}
+
+	b.rnd = zero
+	wantFloor := []time.Duration{
+		2 * time.Millisecond,  // d=4ms
+		4 * time.Millisecond,  // d=8ms
+		8 * time.Millisecond,  // d=16ms
+		10 * time.Millisecond, // d capped at 20ms
+		10 * time.Millisecond,
+	}
+	for i, w := range wantFloor {
+		if got := b.delay(i); got != w {
+			t.Errorf("floor delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	b.rnd = almostOne
+	wantCeil := []time.Duration{4, 8, 16, 20, 20}
+	for i, w := range wantCeil {
+		w *= time.Millisecond
+		if got := b.delay(i); got < w-time.Microsecond || got > w {
+			t.Errorf("ceiling delay(%d) = %v, want ≈%v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	b.rnd = func() float64 { return 0 }
+	if got := b.delay(0); got != DefaultBackoffBase/2 {
+		t.Errorf("zero-value first delay = %v, want %v", got, DefaultBackoffBase/2)
+	}
+	if got := b.delay(1000); got != DefaultBackoffMax/2 {
+		t.Errorf("zero-value capped delay = %v, want %v", got, DefaultBackoffMax/2)
+	}
+}
+
+func TestRetryOverloadedRetriesOnlyOverload(t *testing.T) {
+	fc := &fakeClock{}
+	b := &Backoff{rnd: func() float64 { return 0 }, sleep: fc.sleep}
+
+	// Overloaded twice, then granted: two sleeps, then the release fn.
+	calls := 0
+	released := false
+	rel, err := retryOverloaded(context.Background(), b, func() (func(), error) {
+		calls++
+		if calls <= 2 {
+			return nil, fmt.Errorf("denied: %w", ErrOverloaded)
+		}
+		return func() { released = true }, nil
+	})
+	if err != nil || rel == nil {
+		t.Fatalf("retry run: rel nil=%v err=%v", rel == nil, err)
+	}
+	rel()
+	if !released || calls != 3 || len(fc.slept) != 2 {
+		t.Fatalf("released=%v calls=%d sleeps=%v", released, calls, fc.slept)
+	}
+	if fc.slept[1] != 2*fc.slept[0] {
+		t.Fatalf("second sleep %v is not double the first %v", fc.slept[1], fc.slept[0])
+	}
+
+	// A non-overload error returns immediately, no sleep.
+	fc.slept = nil
+	boom := errors.New("boom")
+	if _, err := retryOverloaded(context.Background(), b, func() (func(), error) {
+		return nil, boom
+	}); !errors.Is(err, boom) || len(fc.slept) != 0 {
+		t.Fatalf("non-overload: err=%v sleeps=%v", err, fc.slept)
+	}
+}
+
+func TestRetryOverloadedAttemptBudget(t *testing.T) {
+	fc := &fakeClock{}
+	b := &Backoff{Attempts: 3, rnd: func() float64 { return 0 }, sleep: fc.sleep}
+	calls := 0
+	_, err := retryOverloaded(context.Background(), b, func() (func(), error) {
+		calls++
+		return nil, ErrOverloaded
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if calls != 3 || len(fc.slept) != 2 {
+		t.Fatalf("calls=%d sleeps=%d, want 3 attempts and 2 sleeps", calls, len(fc.slept))
+	}
+}
+
+func TestRetryOverloadedStopsWhenContextEnds(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fc := &fakeClock{cancel: cancel, after: 2}
+	b := &Backoff{rnd: func() float64 { return 0 }, sleep: fc.sleep}
+	calls := 0
+	_, err := retryOverloaded(ctx, b, func() (func(), error) {
+		calls++
+		return nil, ErrOverloaded
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (canceled during the second sleep)", calls)
+	}
+}

@@ -43,10 +43,17 @@ const (
 	// nearest deadline first; requests without a deadline sort last,
 	// among themselves in arrival order.
 	EDF Policy = "edf"
+	// Adaptive is the load-aware policy: it orders like EDF while the
+	// node is calm, switches to SSF when the observed grant latency
+	// crosses half the admission target (small requests drain a
+	// congested queue fastest), and self-tunes an admission bound from
+	// Little's law so the node sheds (DenyOverloaded) before the queue
+	// passes the saturation knee. See adaptive.go.
+	Adaptive Policy = "adaptive"
 )
 
 // Policies lists every admission policy, in documentation order.
-func Policies() []Policy { return []Policy{FIFO, SSF, EDF} }
+func Policies() []Policy { return []Policy{FIFO, SSF, EDF, Adaptive} }
 
 // ParsePolicy converts a flag/config string to a Policy. The empty
 // string selects FIFO.
@@ -54,10 +61,10 @@ func ParsePolicy(s string) (Policy, error) {
 	switch Policy(s) {
 	case "":
 		return FIFO, nil
-	case FIFO, SSF, EDF:
+	case FIFO, SSF, EDF, Adaptive:
 		return Policy(s), nil
 	}
-	return "", fmt.Errorf("serve: unknown policy %q (want fifo, ssf or edf)", s)
+	return "", fmt.Errorf("serve: unknown policy %q (want fifo, ssf, edf or adaptive)", s)
 }
 
 // DefaultAging is the aging threshold used when a configuration leaves
@@ -108,6 +115,9 @@ type Scheduler struct {
 	aging  sim.Time
 	seq    uint64
 	heap   policyHeap
+	// ad holds the load-tracking state of the Adaptive policy; nil for
+	// the fixed policies, whose Observe*/Overloaded methods are no-ops.
+	ad *adaptiveState
 	// fifo holds every queued item in arrival order (lazily compacted)
 	// so that aged items can be promoted front-first. Each entry pins
 	// the push's seq: an entry whose item has since been popped and
@@ -137,11 +147,18 @@ func NewScheduler(p Policy, aging sim.Time) *Scheduler {
 	}
 	switch p {
 	case FIFO, SSF, EDF:
+		// Fixed policies order by themselves, forever.
+	case Adaptive:
 	default:
 		p = FIFO
 	}
 	s := &Scheduler{policy: p, aging: aging}
-	s.heap.policy = p
+	s.heap.mode = p
+	if p == Adaptive {
+		// Calm nodes order by deadline; pressure flips the mode to SSF.
+		s.heap.mode = EDF
+		s.ad = newAdaptiveState(DefaultAdmitTarget)
+	}
 	return s
 }
 
@@ -160,6 +177,9 @@ func (s *Scheduler) Push(it *Item, now sim.Time) {
 	it.hi = -1
 	heap.Push(&s.heap, it)
 	s.fifo = append(s.fifo, fifoEntry{it: it, seq: it.seq})
+	if s.ad != nil {
+		s.ad.onPush(s)
+	}
 }
 
 // Pop removes and returns the next item to admit at instant now, or
@@ -181,10 +201,16 @@ func (s *Scheduler) Pop(now sim.Time) *Item {
 		s.fifo = s.fifo[1:]
 		heap.Remove(&s.heap, oldest.hi)
 		oldest.state = itemPopped
+		if s.ad != nil {
+			s.ad.onPop(s, oldest, now)
+		}
 		return oldest
 	}
 	it := heap.Pop(&s.heap).(*Item)
 	it.state = itemPopped // its fifo entry is skipped lazily
+	if s.ad != nil {
+		s.ad.onPop(s, it, now)
+	}
 	return it
 }
 
@@ -196,6 +222,9 @@ func (s *Scheduler) Remove(it *Item) bool {
 	}
 	heap.Remove(&s.heap, it.hi)
 	it.state = itemRemoved // its fifo entry is skipped lazily
+	if s.ad != nil {
+		s.ad.onDepth(s.heap.Len())
+	}
 	return true
 }
 
@@ -212,21 +241,27 @@ func (s *Scheduler) Drain() []*Item {
 	}
 	s.fifo = nil
 	s.heap.items = nil
+	if s.ad != nil {
+		s.ad.onDepth(0)
+	}
 	return out
 }
 
-// policyHeap orders queued items by the policy key, arrival order
-// breaking ties (and being the whole key under FIFO).
+// policyHeap orders queued items by the current ordering mode, arrival
+// order breaking ties (and being the whole key under FIFO). mode equals
+// the configured policy for the fixed policies; the Adaptive policy
+// flips it between EDF (calm) and SSF (pressure), re-heapifying on
+// each switch.
 type policyHeap struct {
-	policy Policy
-	items  []*Item
+	mode  Policy
+	items []*Item
 }
 
 func (h *policyHeap) Len() int { return len(h.items) }
 
 func (h *policyHeap) Less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
-	switch h.policy {
+	switch h.mode {
 	case SSF:
 		if a.Size != b.Size {
 			return a.Size < b.Size

@@ -54,6 +54,19 @@ type ServerConfig struct {
 	// limit — backpressure the client can act on. Zero means
 	// unbounded (the pre-backpressure behavior).
 	MaxQueue int
+	// Overloaded, when non-nil, is the load-aware admission oracle
+	// (live.Cluster.Overloaded for an Adaptive-policy cluster): it is
+	// consulted per request on the admission fast path, and a true
+	// answer sheds the request with DenyOverloaded before it queues.
+	// Unlike the static MaxQueue bound it sees the node's observed
+	// service time, so it sheds before the queue passes the knee. A
+	// request that does not target a node is spread past shedding
+	// nodes first and denied only when every hosted node sheds it.
+	Overloaded func(node, size int) bool
+	// NoteShed, when non-nil, is told about every oracle denial so the
+	// policy's denial-rate statistics see sheds that never reach the
+	// node loop (live.Cluster.NoteShed).
+	NoteShed func(node int)
 	// DisableCoalesce pins every response write to a single frame
 	// (no batch envelopes), the pre-batching wire behavior. Benchmarks
 	// use it to measure the batching win; production has no reason to.
@@ -481,9 +494,35 @@ func (cn *conn) admit(x ClientAcquire) (run func(), ok bool) {
 	}
 	node := int(x.Node)
 	if x.Node == network.None {
-		node = cn.s.cfg.Local[int(cn.s.rr.Add(1))%len(cn.s.cfg.Local)]
+		local := cn.s.cfg.Local
+		node = local[int(cn.s.rr.Add(1))%len(local)]
+		if ol := cn.s.cfg.Overloaded; ol != nil && ol(node, len(resources)) {
+			// Spread: one shedding node must not deny what another
+			// hosted node could serve — advance the cursor until a node
+			// accepts, or every candidate has shed (the check below
+			// then denies on the last one).
+			for i := 1; i < len(local); i++ {
+				node = local[int(cn.s.rr.Add(1))%len(local)]
+				if !ol(node, len(resources)) {
+					break
+				}
+			}
+		}
 	} else if !cn.s.hostsLocally(node) {
 		deny("node %d is not hosted by this daemon", node)
+		return nil, true
+	}
+	// Load-aware shed: the adaptive bound denies before the queue
+	// passes the knee, while the client can still act on it.
+	if ol := cn.s.cfg.Overloaded; ol != nil && ol(node, len(resources)) {
+		if ns := cn.s.cfg.NoteShed; ns != nil {
+			ns(node)
+		}
+		cn.send(ClientDeny{
+			Req:    x.Req,
+			Reason: fmt.Sprintf("node %d sheds at its adaptive admission bound", node),
+			Code:   DenyOverloaded,
+		})
 		return nil, true
 	}
 	// Backpressure: refuse rather than queue without bound. Increment
