@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                  # full grid -> BENCH_4.json
+//	go run ./cmd/bench                  # full grid -> BENCH_5.json
 //	go run ./cmd/bench -out other.json
 //	go run ./cmd/bench -run sim/n32     # scenario name filter (substring)
 //	go run ./cmd/bench -run largeN      # just the payload-path tier
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output report path")
+	out := flag.String("out", "BENCH_5.json", "output report path")
 	filter := flag.String("run", "", "only run scenarios whose name contains this substring")
 	merge := flag.String("merge", "", "prior report whose rows are kept verbatim; scenarios it already has are skipped, new ones appended")
 	capture := flag.Bool("capture-baseline", false, "print the measurements as a Go literal for baseline.go instead of writing the report")

@@ -17,7 +17,10 @@
 // -peers; each hosts a disjoint -local set covering all nodes. With
 // -ops 0 (default) a daemon participates until SIGINT/SIGTERM; with
 // -ops K it performs K random acquire/release cycles per local node,
-// prints per-kind message statistics, and exits.
+// prints per-kind message statistics, and exits. Shutdown is graceful
+// either way: the daemon drains first, handing every token it owns to
+// a waiting peer or the resource's steward, so the surviving cluster
+// never waits out a lease expiry for resources this process held.
 //
 // With -client-listen the daemon additionally opens a client port:
 // external processes speak the client wire protocol (internal/serve)
@@ -47,9 +50,11 @@ import (
 	"time"
 
 	"mralloc/internal/alg"
+	"mralloc/internal/core"
 	"mralloc/internal/experiments"
 	"mralloc/internal/live"
 	"mralloc/internal/serve"
+	"mralloc/internal/sim"
 	"mralloc/internal/transport"
 )
 
@@ -83,6 +88,9 @@ type daemonConfig struct {
 	chaosKillEvery   time.Duration
 	chaosSeed        int64
 	chaosSpec        string
+	reliable         bool
+	leaseTTL         time.Duration
+	hbInterval       time.Duration
 }
 
 func main() {
@@ -113,7 +121,10 @@ func main() {
 	flag.DurationVar(&cfg.chaosKillEvery, "chaos-kill-every", 0, "fault injection: forcibly abort every live peer connection at this interval, exercising the redial path (0 = never)")
 	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "fault injection: RNG seed for the per-link fault schedules")
 	flag.StringVar(&cfg.chaosSpec, "chaos-spec", "", "fault injection: hex-encoded chaos spec (as printed by a prior run) — replays that exact fault configuration, overriding the individual -chaos-* knobs")
-	flag.DurationVar(&cfg.linger, "linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); a node that leaves early strands the tokens it owns")
+	flag.BoolVar(&cfg.reliable, "reliable", false, "per-link ack/retransmit wrapper on peer traffic: restores reliable delivery (and so liveness) over a lossy fabric, at the cost of ack frames and retransmit buffers")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 0, "token lease TTL (counter-loan/counter-no-loan only): heartbeat-tracked leases let a steward regenerate tokens lost with a crashed peer, fencing the stale epoch (0 = leases off)")
+	flag.DurationVar(&cfg.hbInterval, "hb-interval", 0, "lease heartbeat interval (0 = lease-ttl/3); must be well below -lease-ttl")
+	flag.DurationVar(&cfg.linger, "linger", 5*time.Second, "after the workload, keep serving peers this long before exiting (0 = until signal); legacy safety net from before the shutdown drain — tokens are now handed off explicitly, lingering just catches stragglers mid-handoff")
 	flag.IntVar(&cfg.phi, "phi", 4, "maximum resources per request (workload mode)")
 	flag.DurationVar(&cfg.think, "think", time.Millisecond, "mean pause between requests (workload mode)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
@@ -124,7 +135,24 @@ func main() {
 	}
 }
 
-func factoryFor(name string) (alg.Factory, error) {
+func factoryFor(name string, leaseTTL, hbInterval time.Duration) (alg.Factory, error) {
+	if leaseTTL > 0 {
+		// Leases are a counter-algorithm feature: the token carries the
+		// authority epoch and the steward mapping is derived from the
+		// resource id, neither of which the comparators implement.
+		var opt core.Options
+		switch name {
+		case "counter-loan":
+			opt = core.WithLoan()
+		case "counter-no-loan":
+			opt = core.WithoutLoan()
+		default:
+			return nil, fmt.Errorf("-lease-ttl: algorithm %q has no lease support (counter-loan and counter-no-loan only)", name)
+		}
+		opt.LeaseTTL = sim.Time(leaseTTL)
+		opt.HeartbeatInterval = sim.Time(hbInterval)
+		return core.NewFactory(opt), nil
+	}
 	switch name {
 	case "counter-loan":
 		return experiments.Factory(experiments.WithLoan), nil
@@ -161,7 +189,7 @@ func parseIDs(csv string, n int) ([]int, error) {
 func run(cfg daemonConfig) error {
 	nodes, resources := cfg.nodes, cfg.resources
 	ops, phi, think, seed, linger := cfg.ops, cfg.phi, cfg.think, cfg.seed, cfg.linger
-	factory, err := factoryFor(cfg.algName)
+	factory, err := factoryFor(cfg.algName, cfg.leaseTTL, cfg.hbInterval)
 	if err != nil {
 		return err
 	}
@@ -210,6 +238,25 @@ func run(cfg daemonConfig) error {
 		tr.Close()
 		return err
 	}
+	// -reliable stacks the ack/retransmit wrapper above the (possibly
+	// chaotic) endpoint: live → Reliable → Chaos → TCP, so injected
+	// drops and duplicates are healed below the protocol.
+	var rel *transport.Reliable
+	if cfg.reliable {
+		rel = transport.NewReliable(clusterTr)
+		clusterTr = rel
+	}
+	// Leases need a clock: tick each node a few times per heartbeat.
+	var tick time.Duration
+	if cfg.leaseTTL > 0 {
+		hb := cfg.hbInterval
+		if hb <= 0 {
+			hb = cfg.leaseTTL / 3
+		}
+		if tick = hb / 3; tick <= 0 {
+			tick = time.Millisecond
+		}
+	}
 	cluster, err := live.New(live.Config{
 		Nodes:       nodes,
 		Resources:   resources,
@@ -217,6 +264,7 @@ func run(cfg daemonConfig) error {
 		Local:       local,
 		Policy:      policy,
 		AdmitTarget: cfg.admitTarget,
+		Tick:        tick,
 		Wire: transport.WireOptions{
 			Delta:         cfg.wireDelta,
 			NoVectored:    !cfg.wireWritev,
@@ -258,12 +306,24 @@ func run(cfg daemonConfig) error {
 		fmt.Printf("mrallocd: client port on %s (policy %s, max-queue %d)\n", srv.Addr(), policy, cfg.maxQueue)
 	}
 
+	// Graceful exit: hand off every token our nodes own (to a waiting
+	// requester or the resource's steward) before the process dies, so
+	// peers never have to wait out a lease expiry and regeneration for
+	// resources we were holding.
+	shutdown := func() {
+		if cluster.Drain() {
+			fmt.Println("mrallocd: drained — owned tokens handed off to peers")
+		}
+		printStats(cluster.Stats())
+		printRecovery(cluster, local, rel)
+	}
+
 	if ops <= 0 {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("mrallocd: signal received, shutting down")
-		printStats(cluster.Stats())
+		shutdown()
 		return nil
 	}
 
@@ -313,8 +373,9 @@ func run(cfg daemonConfig) error {
 	printStats(cluster.Stats())
 
 	// Keep serving: peers may still route requests through our nodes or
-	// wait on tokens we own. Exiting the moment our own workload ends
-	// would strand them (a node cannot hand off ownership on shutdown).
+	// be mid-handshake on tokens we own. The shutdown drain hands off
+	// ownership explicitly; lingering first lets in-flight traffic
+	// settle so the drain finds stable queues.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if linger > 0 {
@@ -330,8 +391,34 @@ func run(cfg daemonConfig) error {
 	// Serving peers sends more messages (token handoffs); report the
 	// final counters so the numbers across daemons add up.
 	fmt.Println("mrallocd: final counters after serving peers:")
-	printStats(cluster.Stats())
+	shutdown()
 	return nil
+}
+
+// printRecovery reports the fault-recovery machinery's work: the
+// reliable wrapper's retransmission ledger (when -reliable is armed)
+// and the lease/regeneration counters aggregated over the local
+// counter-algorithm nodes (when -lease-ttl is armed).
+func printRecovery(cluster *live.Cluster, local []int, rel *transport.Reliable) {
+	if rel != nil {
+		s := rel.RelStats()
+		fmt.Printf("reliable link: retransmits=%d acked=%d dups-dropped=%d gaps=%d acks-sent=%d\n",
+			s.Retransmits, s.Acked, s.DupsDropped, s.Gaps, s.AcksSent)
+	}
+	var agg core.Counters
+	seen := false
+	for _, id := range local {
+		cluster.Inspect(id, func(n alg.Node) {
+			if nd, ok := n.(*core.Node); ok {
+				agg.Add(nd.Counters())
+				seen = true
+			}
+		})
+	}
+	if seen && (agg.Heartbeats > 0 || agg.Regens > 0 || agg.Fenced > 0 || agg.Drained > 0) {
+		fmt.Printf("leases: heartbeats=%d grants=%d expiries=%d regens=%d fenced=%d drained=%d\n",
+			agg.Heartbeats, agg.LeaseGrants, agg.LeaseExpiries, agg.Regens, agg.Fenced, agg.Drained)
+	}
 }
 
 // chaosWrap wraps the peer transport in a fault-injecting

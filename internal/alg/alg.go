@@ -54,6 +54,21 @@ type Node interface {
 	Deliver(from network.NodeID, m network.Message)
 }
 
+// Ticker is an optional Node face. A runtime with a clock calls Tick
+// periodically (from the same serialized context as Deliver) so
+// time-based machinery — leases, heartbeats, expiry scans — can run.
+// Nodes without timed state simply do not implement it.
+type Ticker interface {
+	Tick(now sim.Time)
+}
+
+// Drainer is an optional Node face: an orderly shutdown calls Drain
+// (same serialized context as Deliver) to let the node hand off state
+// that would otherwise die with it, e.g. resource tokens it owns.
+type Drainer interface {
+	Drain()
+}
+
 // Factory builds the N nodes of one protocol instance for a system of
 // n sites and m resources. Implementations may return nodes that share
 // internal state only if the algorithm is explicitly centralized (the

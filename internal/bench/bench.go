@@ -330,6 +330,7 @@ func Grid() []Scenario {
 	out = append(out, LargeNGrid()...)
 	out = append(out, BackpressureGrid()...)
 	out = append(out, OpenLoopGrid()...)
+	out = append(out, RecoveryGrid()...)
 	return out
 }
 
@@ -387,6 +388,12 @@ func Measure(s Scenario) Result {
 	}
 	if v, ok := r.Extra["slo_max_rps"]; ok {
 		res.SLOMaxRPS = round3(v)
+	}
+	if v, ok := r.Extra["retransmits_per_op"]; ok {
+		res.RetransmitsPerOp = round3(v)
+	}
+	if v, ok := r.Extra["dups_dropped_per_op"]; ok {
+		res.DupsDroppedPerOp = round3(v)
 	}
 	if res.NsPerOp > 0 {
 		ops := 1e9 / float64(res.NsPerOp)

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mralloc/internal/core"
+	"mralloc/internal/live"
+	"mralloc/internal/sim"
+	"mralloc/internal/transport"
+)
+
+// The recovery tier: the tcploop deployment with the crash-recovery
+// stack armed — every endpoint is live → Reliable → Chaos → TCP, the
+// counter algorithm runs with token leases, and the chaotic cell
+// injects drop and duplication at the fabric. One op is one
+// granted-and-released two-resource acquisition driven directly
+// against the clusters. The clean cell prices the wrapper itself
+// (sequence/ack bookkeeping, heartbeat traffic, zero faults); the
+// chaotic cell shows the recovery machinery earning its keep, with
+// retransmits/op and duplicates dropped/op on the row.
+
+const recoveryM = 32
+
+// recoveryCell is one assembled two-daemon loopback deployment with
+// the reliability stack in place.
+type recoveryCell struct {
+	trs      []*transport.TCP
+	chs      []*transport.Chaos
+	rels     []*transport.Reliable
+	clusters []*live.Cluster
+}
+
+func startRecoveryCell(b *testing.B, nodes int, faults transport.Faults) *recoveryCell {
+	b.Helper()
+	half := nodes / 2
+	locals := [2][]int{}
+	for i := 0; i < nodes; i++ {
+		if i < half {
+			locals[0] = append(locals[0], i)
+		} else {
+			locals[1] = append(locals[1], i)
+		}
+	}
+	cell := &recoveryCell{}
+	addrs := make([]string, nodes)
+	for d := 0; d < 2; d++ {
+		tr, err := transport.ListenTCP("127.0.0.1:0", nodes, locals[d]...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell.trs = append(cell.trs, tr)
+		for _, id := range locals[d] {
+			addrs[id] = tr.Addr()
+		}
+	}
+	opt := core.WithLoan()
+	opt.LeaseTTL = 250 * sim.Millisecond
+	for d := 0; d < 2; d++ {
+		if err := cell.trs[d].Connect(addrs); err != nil {
+			b.Fatal(err)
+		}
+		ch := transport.NewChaos(cell.trs[d], 0xbe9c4+int64(d))
+		rel := transport.NewReliable(ch)
+		rel.SetRetransmit(2*time.Millisecond, 50*time.Millisecond)
+		cell.chs = append(cell.chs, ch)
+		cell.rels = append(cell.rels, rel)
+		c, err := live.New(live.Config{
+			Nodes:     nodes,
+			Resources: recoveryM,
+			Transport: rel,
+			Local:     locals[d],
+			Tick:      20 * time.Millisecond,
+		}, core.NewFactory(opt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell.clusters = append(cell.clusters, c)
+	}
+	for _, ch := range cell.chs {
+		ch.SetFaults(faults)
+	}
+	return cell
+}
+
+func (c *recoveryCell) close() {
+	for _, cl := range c.clusters {
+		cl.Close() // closes its transport stack
+	}
+}
+
+func (c *recoveryCell) relStats() transport.RelStats {
+	var total transport.RelStats
+	for _, r := range c.rels {
+		s := r.RelStats()
+		total.Retransmits += s.Retransmits
+		total.Acked += s.Acked
+		total.DupsDropped += s.DupsDropped
+		total.Gaps += s.Gaps
+		total.AcksSent += s.AcksSent
+	}
+	return total
+}
+
+func recoveryScenario(nodes int, tag string, faults transport.Faults) Scenario {
+	s := Scenario{Name: fmt.Sprintf("recovery/chaosloop/n%d/%s", nodes, tag)}
+	s.Run = func(b *testing.B) {
+		cell := startRecoveryCell(b, nodes, faults)
+		defer cell.close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		base := cell.relStats()
+
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var failed atomic.Bool
+		workers := nodes
+		for w := 0; w < workers; w++ {
+			w := w
+			cl := cell.clusters[0]
+			if w >= nodes/2 {
+				cl = cell.clusters[1]
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(b.N) || failed.Load() {
+						return
+					}
+					r1 := int(i+int64(w*7)) % recoveryM
+					r2 := (r1 + 11) % recoveryM
+					release, err := cl.Acquire(ctx, w, r1, r2)
+					if err != nil {
+						// b.Fatal would Goexit a non-benchmark goroutine,
+						// which the testing package forbids.
+						b.Error(err)
+						failed.Store(true)
+						return
+					}
+					release()
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+
+		now := cell.relStats()
+		n := float64(b.N)
+		b.ReportMetric(float64(now.Retransmits-base.Retransmits)/n, "retransmits_per_op")
+		b.ReportMetric(float64(now.DupsDropped-base.DupsDropped)/n, "dups_dropped_per_op")
+	}
+	return s
+}
+
+// RecoveryGrid is the recovery tier: the reliable/lease stack clean,
+// then under drop+duplication faults.
+func RecoveryGrid() []Scenario {
+	return []Scenario{
+		recoveryScenario(4, "clean", transport.Faults{}),
+		recoveryScenario(4, "drop2dup2", transport.Faults{
+			Drop: 0.02, Dup: 0.02, DelayMax: 100 * time.Microsecond,
+		}),
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecoverySmoke runs the faulted recovery cell end to end — real
+// sockets, chaos-injected drop and duplication, the lease-armed
+// reliable stack — and gates the schema: the recovery columns the tier
+// exists to record must be present, non-zero under injected faults,
+// and survive a JSON round trip under the frozen schema name.
+func TestRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark measurement in -short mode")
+	}
+	var s Scenario
+	for _, c := range RecoveryGrid() {
+		if strings.HasSuffix(c.Name, "/drop2dup2") {
+			s = c
+			break
+		}
+	}
+	if s.Run == nil {
+		t.Fatal("no faulted recovery scenario in the grid")
+	}
+	r := Measure(s)
+	if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 {
+		t.Fatalf("no wall-clock measurement: %+v", r)
+	}
+	if r.RetransmitsPerOp <= 0 {
+		t.Fatalf("faults injected but no retransmits recorded: %+v", r)
+	}
+	if r.DupsDroppedPerOp <= 0 {
+		t.Fatalf("duplication injected but no dups dropped: %+v", r)
+	}
+	rep := NewReport([]Result{r})
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["schema"] != Schema {
+		t.Fatalf("schema = %v, want %v", raw["schema"], Schema)
+	}
+	row := raw["current"].([]any)[0].(map[string]any)
+	for _, key := range []string{"scenario", "ns_per_op",
+		"retransmits_per_op", "dups_dropped_per_op"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("report row missing %q (schema drift): %v", key, row)
+		}
+	}
+}

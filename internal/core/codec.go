@@ -165,6 +165,7 @@ func encTokenSnap(e *wire.Enc, t *token) {
 		e.Set(l.Missing)
 	}
 	e.Node(t.Lender)
+	e.Varint(t.Epoch)
 }
 
 func decTokenSnap(d *wire.Dec) *token {
@@ -216,6 +217,10 @@ func decTokenSnap(d *wire.Dec) *token {
 		}
 	}
 	t.Lender = d.Node()
+	t.Epoch = d.Varint()
+	if t.Epoch < 0 && d.Err() == nil {
+		d.Fail("negative token epoch %d", t.Epoch)
+	}
 	return t
 }
 
@@ -242,6 +247,7 @@ func codecSamples() []network.Message {
 	tok.Queue.Insert(reqRef{Site: 3, ID: 4, Mark: 1.25})
 	tok.Loans = append(tok.Loans, loanEntry{Ref: reqRef{Site: 2, ID: 9, Mark: 3}, R: 3, Missing: missing})
 	tok.Lender = 2
+	tok.Epoch = 2 // a regenerated token's bumped authority generation
 	return []network.Message{
 		reqBatch{
 			Visited: []network.NodeID{0, 2},

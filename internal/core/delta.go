@@ -95,6 +95,7 @@ func copyTokenInto(dst, src *token) {
 		dst.Loans = append(dst.Loans, l)
 	}
 	dst.Lender = src.Lender
+	dst.Epoch = src.Epoch
 }
 
 // tokenDeltaEnc is the egress half: one per delta-capable stream,
@@ -178,6 +179,10 @@ func (st *tokenDeltaEnc) encTokenDelta(e *wire.Enc, old, t *token) {
 		e.Bool(true)
 		e.Node(t.Lender)
 	}
+	// Authority-epoch delta, appended last: almost always 0 (one byte),
+	// non-zero only when a regenerated token crosses a stream that had
+	// already shadowed its predecessor.
+	e.Varint(t.Epoch - old.Epoch)
 }
 
 func loansEqual(a, b []loanEntry) bool {
@@ -446,6 +451,10 @@ func applyTokenDelta(d *wire.Dec, tok *token) {
 	}
 	if d.Bool() {
 		tok.Lender = d.Node()
+	}
+	tok.Epoch += d.Varint()
+	if tok.Epoch < 0 && d.Err() == nil {
+		d.Fail("token delta yields negative epoch %d", tok.Epoch)
 	}
 }
 

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"testing"
+
+	"mralloc/internal/network"
+	"mralloc/internal/sim"
+)
+
+// Lease, regeneration and fencing tests run on the deterministic script
+// harness (script_test.go): virtual time, constant 600µs latency, and
+// explicit Tick scheduling stand in for the live runtime's clock.
+
+// leaseOpts arms leases with a 10ms TTL (heartbeats every ~3.3ms).
+func leaseOpts() Options {
+	o := WithoutLoan()
+	o.LeaseTTL = 10 * sim.Millisecond
+	return o
+}
+
+// tickAll schedules a Tick for every node each everyMs in (0, untilMs],
+// skipping nodes the alive filter (nil = all alive) rejects — the
+// harness equivalent of live.Config.Tick plus crash simulation.
+func (h *scriptHarness) tickAll(everyMs, untilMs float64, alive func(i int) bool) {
+	for t := everyMs; t <= untilMs; t += everyMs {
+		h.at(t, func() {
+			for i, nd := range h.nodes {
+				if alive == nil || alive(i) {
+					nd.Tick(h.eng.Now())
+				}
+			}
+		})
+	}
+}
+
+// crash makes node i disappear: its inbound messages are dropped and
+// (by the caller's alive filter) its clock stops. Its in-memory state
+// survives for a later "resurrection" via revive.
+func (h *scriptHarness) crash(i int) {
+	h.nw.Bind(network.NodeID(i), func(network.NodeID, network.Message) {})
+}
+
+func (h *scriptHarness) revive(i int) {
+	h.nw.Bind(network.NodeID(i), h.nodes[i].Deliver)
+}
+
+// TestLeaseGatesEntry: with leases armed, even the genesis owner of
+// every token may not enter its critical section before a heartbeat
+// round establishes its leases — and must enter right after.
+func TestLeaseGatesEntry(t *testing.T) {
+	h := newScript(t, 2, 2, leaseOpts())
+	h.tickAll(2, 30, nil)
+
+	h.at(1, func() {
+		h.nodes[0].Request(ids(2, 0, 1)) // owns both, but no lease yet
+		if h.nodes[0].st == stInCS {
+			t.Fatal("entered CS without any lease")
+		}
+		if !h.nodes[0].entryHeld {
+			t.Fatal("entry not parked on the missing lease")
+		}
+	})
+	// Resource 0 is self-stewarded (0 % 2), resource 1 is stewarded by
+	// node 1: the first tick renews one locally and heartbeats the
+	// other; the grant echo completes the pair one round-trip later.
+	h.at(10, func() {
+		if h.nodes[0].st != stInCS {
+			t.Fatalf("state %v after heartbeat round, want inCS", h.nodes[0].st)
+		}
+		h.nodes[0].Release()
+	})
+	h.eng.Run()
+	if got := h.nodes[0].Counters(); got.Heartbeats == 0 {
+		t.Fatalf("no heartbeat sent: %+v", got)
+	}
+	if got := h.nodes[1].Counters(); got.LeaseGrants == 0 {
+		t.Fatalf("steward granted nothing: %+v", got)
+	}
+}
+
+// TestLeaseRegenAfterCrash is the headline recovery scenario: a token
+// dies with its holder, the steward regenerates it after the lease
+// silence window, and a request wedged on the dead holder completes.
+func TestLeaseRegenAfterCrash(t *testing.T) {
+	h := newScript(t, 3, 3, leaseOpts())
+	dead := false
+	h.tickAll(2, 400, func(i int) bool { return i != 1 || !dead })
+
+	// Move r0's token to node1 (steward of r0 is node0 = 0 % 3).
+	h.at(5, func() { h.nodes[1].Request(ids(3, 0)) })
+	h.at(20, func() {
+		if h.nodes[1].st != stInCS {
+			t.Fatalf("setup: node1 state %v", h.nodes[1].st)
+		}
+		h.nodes[1].Release()
+	})
+
+	// Crash the holder; the token of r0 is gone with it.
+	h.at(50, func() { dead = true; h.crash(1) })
+
+	// A request that routes through the dead holder wedges...
+	base := 0
+	h.at(60, func() {
+		base = len(h.grants)
+		h.nodes[2].Request(ids(3, 0))
+	})
+	h.at(85, func() {
+		if len(h.grantedSince(base)) != 0 {
+			t.Fatal("granted before the lease silence window elapsed — regeneration fired early")
+		}
+	})
+
+	// ...until the steward's 4×TTL deadline passes (last heartbeat at
+	// ~t=50, so regeneration lands near t=90) and the regenerated token
+	// serves the replayed request.
+	h.at(150, func() {
+		got := h.grantedSince(base)
+		if len(got) != 1 || got[0] != 2 {
+			t.Fatalf("wedged request not served after regeneration: grants=%v, node2 state %v, node0 counters %+v",
+				got, h.nodes[2].st, h.nodes[0].Counters())
+		}
+		if h.nodes[0].Counters().Regens != 1 {
+			t.Fatalf("steward counters: %+v, want exactly one regeneration", h.nodes[0].Counters())
+		}
+		if h.nodes[2].lastTok[0].Epoch != 1 {
+			t.Fatalf("served token epoch %d, want 1", h.nodes[2].lastTok[0].Epoch)
+		}
+		h.nodes[2].Release()
+	})
+	h.eng.Run()
+}
+
+// TestStaleHolderFencedOnResurface: the crashed ex-holder comes back
+// after its token was regenerated. Its stale-epoch heartbeat must be
+// answered with the regeneration announcement, after which it fences
+// its own dead ownership instead of competing with the live token.
+func TestStaleHolderFencedOnResurface(t *testing.T) {
+	h := newScript(t, 3, 3, leaseOpts())
+	dead := false
+	h.tickAll(2, 400, func(i int) bool { return i != 1 || !dead })
+
+	h.at(5, func() { h.nodes[1].Request(ids(3, 0)) })
+	h.at(20, func() { h.nodes[1].Release() })
+	h.at(50, func() { dead = true; h.crash(1) })
+
+	// Regeneration happens around t=90; resurrect well after.
+	h.at(200, func() {
+		if h.nodes[0].Counters().Regens != 1 {
+			t.Fatalf("precondition: %+v", h.nodes[0].Counters())
+		}
+		if !h.nodes[1].owned.Has(0) {
+			t.Fatal("precondition: resurrected node must still believe it owns r0")
+		}
+		dead = false
+		h.revive(1)
+	})
+	// Its next heartbeat carries epoch 0; the steward's regen reply
+	// fences it.
+	h.at(250, func() {
+		nd := h.nodes[1]
+		if nd.owned.Has(0) {
+			t.Fatal("stale holder kept ownership after the fence")
+		}
+		if nd.Counters().Fenced == 0 {
+			t.Fatalf("no fence recorded: %+v", nd.Counters())
+		}
+		if nd.curEpoch[0] != 1 {
+			t.Fatalf("stale holder epoch view %d, want 1", nd.curEpoch[0])
+		}
+		// And it can still acquire the resource through the live token.
+		nd.Request(ids(3, 0))
+	})
+	h.at(300, func() {
+		if h.nodes[1].st != stInCS {
+			t.Fatalf("resurrected node wedged: state %v", h.nodes[1].st)
+		}
+		h.nodes[1].Release()
+	})
+	h.eng.Run()
+}
+
+// TestFencedMidParkFallsBack: a locally-satisfied entry parked on a
+// lapsed lease loses its token to a regeneration; the node must fall
+// back to the remote request path and still complete.
+func TestFencedMidParkFallsBack(t *testing.T) {
+	h := newScript(t, 2, 2, leaseOpts())
+	wedged := false
+	// Node 0's clock stops at t=30 — it keeps receiving messages (a
+	// partition of its *steward traffic* only would be equivalent) but
+	// stops heartbeating, so node1 (steward of r1) regenerates r1.
+	h.tickAll(2, 600, func(i int) bool { return i != 0 || !wedged })
+
+	h.at(1, func() { h.nodes[0].Request(ids(2, 0, 1)) })
+	h.at(10, func() { h.nodes[0].Release() })
+	h.at(30, func() { wedged = true })
+
+	// With its leases lapsing and no ticks, a fresh local request parks.
+	h.at(60, func() {
+		h.nodes[0].Request(ids(2, 1))
+		if h.nodes[0].st == stInCS {
+			t.Fatal("entered CS on a lapsed lease")
+		}
+	})
+	// Node1 regenerates r1 around t ≈ 30+40; the broadcast both fences
+	// node0 and makes it re-issue the parked entry remotely.
+	h.at(200, func() {
+		if h.nodes[1].Counters().Regens == 0 {
+			t.Fatalf("steward never regenerated: %+v", h.nodes[1].Counters())
+		}
+		if h.nodes[0].st != stInCS {
+			t.Fatalf("parked entry never recovered: state %v, counters %+v",
+				h.nodes[0].st, h.nodes[0].Counters())
+		}
+		h.nodes[0].Release()
+	})
+	h.eng.Run()
+	if h.nodes[0].Counters().Fenced == 0 {
+		t.Fatalf("no fence recorded on node0: %+v", h.nodes[0].Counters())
+	}
+}
+
+// TestProcessUpdateFencesStaleEpoch: unit-level fencing — a token from
+// a dead epoch arriving at a node that has witnessed a newer one is
+// dropped at install, not merged.
+func TestProcessUpdateFencesStaleEpoch(t *testing.T) {
+	h := newScript(t, 2, 2, leaseOpts())
+	nd := h.nodes[1]
+	nd.curEpoch[0] = 2
+	stale := newToken(0, 2)
+	stale.Epoch = 1
+	nd.processUpdate(stale)
+	if nd.owned.Has(0) {
+		t.Fatal("stale-epoch token installed")
+	}
+	if nd.stats.Fenced != 1 {
+		t.Fatalf("Fenced = %d, want 1", nd.stats.Fenced)
+	}
+	fresh := newToken(0, 2)
+	fresh.Epoch = 2
+	nd.processUpdate(fresh)
+	if !nd.owned.Has(0) {
+		t.Fatal("current-epoch token rejected")
+	}
+}
+
+// TestDrainHandsOffTokens: an orderly Drain moves every owned token to
+// its steward (or the next site when the drainer is the steward), so a
+// restart never wedges a resource even without leases.
+func TestDrainHandsOffTokens(t *testing.T) {
+	h := newScript(t, 3, 3, WithoutLoan())
+	h.at(1, func() { h.nodes[0].Drain() })
+	h.eng.Run()
+	nd := h.nodes[0]
+	if !nd.owned.Empty() {
+		t.Fatalf("drained node still owns %v", nd.owned)
+	}
+	if nd.Counters().Drained != 3 {
+		t.Fatalf("Drained = %d, want 3", nd.Counters().Drained)
+	}
+	// Steward placement: r0 → steward is node0 itself → next site 1;
+	// r1 → node1; r2 → node2.
+	if !h.nodes[1].owned.Has(0) || !h.nodes[1].owned.Has(1) || !h.nodes[2].owned.Has(2) {
+		t.Fatalf("tokens landed at owned sets %v / %v / %v",
+			h.nodes[0].owned, h.nodes[1].owned, h.nodes[2].owned)
+	}
+	// The cluster still works: acquire through the moved tokens.
+	h.at(2, func() { h.nodes[2].Request(ids(3, 0, 1, 2)) })
+	h.eng.Run()
+	if h.nodes[2].st != stInCS {
+		t.Fatalf("post-drain acquire wedged: %v", h.nodes[2].st)
+	}
+	h.nodes[2].Release()
+}
+
+// TestDrainQueueHeadWins: a waiting queue head outranks the steward as
+// the drain destination — the handoff should serve the waiter directly.
+func TestDrainQueueHeadWins(t *testing.T) {
+	h := newScript(t, 3, 3, WithoutLoan())
+	// node1 holds r1 in CS; node2 queues behind it.
+	h.at(1, func() { h.nodes[1].Request(ids(3, 1)) })
+	h.at(10, func() { h.nodes[2].Request(ids(3, 1)) })
+	h.at(20, func() {
+		if !h.nodes[1].lastTok[1].Queue.contains(2, h.nodes[2].curID) {
+			t.Fatalf("setup: node2 not queued at node1: %v", h.nodes[1].lastTok[1].Queue)
+		}
+		// node1 releases, then drains: the token must go to node2 (the
+		// released queue head service already does this; drain the rest).
+		h.nodes[1].Release()
+	})
+	h.eng.Run()
+	if h.nodes[2].st != stInCS {
+		t.Fatalf("queue head not served: %v", h.nodes[2].st)
+	}
+	h.nodes[2].Release()
+}
+
+// TestParkedEntryReclaimsStolenToken: node0 parks its genesis-owned
+// entry on the missing lease; before the heartbeat round completes,
+// node1's competing request takes the tokens away. The reclaim path
+// must re-register node0's interest or the entry wedges forever.
+func TestParkedEntryReclaimsStolenToken(t *testing.T) {
+	h := newScript(t, 2, 3, leaseOpts())
+	h.tickAll(2, 200, nil)
+
+	h.at(0.1, func() {
+		h.nodes[0].Request(ids(3, 0, 1, 2))
+		if h.nodes[0].st == stInCS {
+			t.Fatal("entered CS without a lease")
+		}
+	})
+	// Node1 requests the same set while node0 is parked leaseless.
+	h.at(0.2, func() { h.nodes[1].Request(ids(3, 0, 1, 2)) })
+	// Whoever is granted releases on the next sweep, so both entries
+	// get their turn in either order.
+	for ms := 5.0; ms <= 180; ms += 5 {
+		h.at(ms, func() {
+			for _, nd := range h.nodes {
+				if nd.st == stInCS {
+					nd.Release()
+				}
+			}
+		})
+	}
+	h.at(190, func() {
+		n0, n1 := h.nodes[0], h.nodes[1]
+		if n0.st != stIdle || n1.st != stIdle {
+			t.Fatalf("wedged: node0 st=%v entryHeld=%v owned=%v; node1 st=%v owned=%v",
+				n0.st, n0.entryHeld, n0.owned, n1.st, n1.owned)
+		}
+	})
+	h.eng.Run()
+	if len(h.grants) != 2 {
+		t.Fatalf("grants=%v, want both nodes served", h.grants)
+	}
+}

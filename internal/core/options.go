@@ -1,5 +1,7 @@
 package core
 
+import "mralloc/internal/sim"
+
 // MarkFunc is the paper's function A: it folds the counter vector of a
 // request (entry r holds the counter value obtained for resource r,
 // zero for resources the request does not name) into a real number.
@@ -88,6 +90,18 @@ type Options struct {
 	// DisableAggregation turns off §4.2.2 message aggregation; every
 	// buffered item then travels as its own message (ablation A2).
 	DisableAggregation bool
+
+	// LeaseTTL enables token leases when positive: every token owner
+	// heartbeats its holdings to the per-resource steward, and a steward
+	// that has heard nothing for 4×TTL regenerates the token under a
+	// bumped epoch (lease.go). Zero disables leases entirely — the
+	// original crash-free protocol. Leases require a time source: the
+	// environment must drive Node.Tick.
+	LeaseTTL sim.Time
+	// HeartbeatInterval is how often an owner renews its leases. Zero
+	// defaults to LeaseTTL/3, which gives a holder two retries before
+	// the grant it relies on lapses.
+	HeartbeatInterval sim.Time
 }
 
 // WithLoan is the paper's "With loan" configuration (threshold 1).
@@ -108,4 +122,11 @@ func (o Options) threshold() int {
 		return 1
 	}
 	return o.LoanThreshold
+}
+
+func (o Options) hbInterval() sim.Time {
+	if o.HeartbeatInterval > 0 {
+		return o.HeartbeatInterval
+	}
+	return o.LeaseTTL / 3
 }

@@ -110,6 +110,13 @@ type token struct {
 	Queue    wqueue
 	Loans    []loanEntry
 	Lender   network.NodeID // None unless currently lent
+	// Epoch is the token's authority generation. It starts at 0 and is
+	// bumped only by lease-expiry regeneration (node.go): a resurfacing
+	// copy of the token from a dead epoch is fenced at install instead
+	// of splitting ownership. Distinct from the delta codec's stream
+	// epoch (delta.go), which names encoder cache generations — Epoch
+	// is protocol state and travels inside the token itself.
+	Epoch int64
 }
 
 func newToken(r resource.ID, n int) *token {
@@ -140,6 +147,7 @@ func (t *token) snapshotInto(s *token) *token {
 	s.Queue = nil
 	s.Loans = nil
 	s.Lender = network.None
+	s.Epoch = t.Epoch
 	return s
 }
 

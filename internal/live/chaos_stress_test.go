@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"mralloc/internal/alg"
+	"mralloc/internal/bouabdallah"
 	"mralloc/internal/core"
+	"mralloc/internal/incremental"
 	"mralloc/internal/network"
 	"mralloc/internal/resource"
 	"mralloc/internal/sim"
@@ -21,19 +23,19 @@ import (
 
 // TestChaosStress drives all four live-capable algorithms through the
 // fault-injecting transport wrapper, in two profiles with different
-// contracts:
+// fault menus but the same contract — safety AND liveness:
 //
 //   - lossless: delay plus directed partitions over the in-process
 //     fabric. Partitions buffer FIFO and heal, so the channel
-//     hypotheses (reliable, FIFO, no duplication) still hold end to
-//     end — safety AND liveness are asserted, including a probe round
-//     after the fault window closes.
+//     hypotheses (reliable, FIFO, no duplication) hold end to end by
+//     construction.
 //
-//   - lossy: drop plus delay plus mid-stream connection kills over the
-//     per-node TCP fabric. Message loss breaks hypothesis 1, so the
-//     paper's liveness guarantee is forfeit by construction — only
-//     safety is asserted: no overlapping grant of the same resource,
-//     ever, no matter what the fabric loses.
+//   - lossy: drop plus duplication plus delay plus mid-stream
+//     connection kills over the per-node TCP fabric, with the
+//     reliable per-link wrapper in the stack (live → Reliable →
+//     Chaos → TCP). Retransmission refills drops and kill windows,
+//     receiver-side dedup cancels duplicates — hypothesis 1 is
+//     restored end to end, so every acquire must still complete.
 func TestChaosStress(t *testing.T) {
 	for algName, factory := range liveAlgorithms() {
 		factory := factory
@@ -41,10 +43,32 @@ func TestChaosStress(t *testing.T) {
 			t.Parallel()
 			runChaosLossless(t, factory)
 		})
+	}
+	for algName, factory := range chaosLossyFactories() {
+		factory := factory
 		t.Run(algName+"/lossy", func(t *testing.T) {
 			t.Parallel()
 			runChaosLossy(t, factory)
 		})
+	}
+}
+
+// chaosLossyFactories is liveAlgorithms with token leases armed on the
+// core variants: lease heartbeats, grant echoes and (were a holder to
+// actually die) regeneration traffic all share the storm with protocol
+// frames. The TTL is wide enough that chaos-induced delay never lapses
+// a live holder's lease — a spurious regeneration would be a real bug,
+// and the safety monitor would catch the resulting double grant.
+func chaosLossyFactories() map[string]alg.Factory {
+	withLease := func(o core.Options) core.Options {
+		o.LeaseTTL = 250 * sim.Millisecond
+		return o
+	}
+	return map[string]alg.Factory{
+		"incremental":     incremental.NewFactory(),
+		"bouabdallah":     bouabdallah.NewFactory(),
+		"counter-no-loan": core.NewFactory(withLease(core.WithoutLoan())),
+		"counter-loan":    core.NewFactory(withLease(core.WithLoan())),
 	}
 }
 
@@ -173,12 +197,14 @@ func runChaosLossless(t *testing.T, factory alg.Factory) {
 }
 
 // runChaosLossy: chaos over per-node TCP endpoints with message drop,
-// delay, and periodic mid-stream connection kills. A lost protocol
-// frame can wedge a node's request slot forever (the abandoned ticket
-// stays in flight), so a node stops after its first failed acquire —
-// the assertion is safety only: every grant the monitor does see must
-// be non-overlapping, and the warmed-up fabric must have produced
-// real grants before and during the storm.
+// duplication, delay, and periodic mid-stream connection kills. The
+// reliable wrapper sits between the cluster and the chaos layer, so
+// every lost or duplicated frame is healed below the protocol:
+// acquires are required to succeed (a wedged request slot is now a
+// liveness failure, not tolerated collateral), and after the storm a
+// probe round plus a quiescence check close the books. The core
+// variants run with leases armed, exercising heartbeat and grant-echo
+// traffic under the same faults.
 func runChaosLossy(t *testing.T, factory alg.Factory) {
 	const n, m = 4, 6
 	iters := 10
@@ -189,6 +215,7 @@ func runChaosLossy(t *testing.T, factory alg.Factory) {
 	}
 	trs := make([]*transport.TCP, n)
 	chs := make([]*transport.Chaos, n)
+	rels := make([]*transport.Reliable, n)
 	addrs := make([]string, n)
 	for i := range trs {
 		tr, err := transport.ListenTCP("127.0.0.1:0", n, i)
@@ -205,11 +232,16 @@ func runChaosLossy(t *testing.T, factory alg.Factory) {
 			t.Fatal(err)
 		}
 		chs[i] = transport.NewChaos(trs[i], 0xbad5eed+int64(i))
+		rels[i] = transport.NewReliable(chs[i])
+		// Tight retransmission keeps recovery latency well inside the
+		// acquire timeout even when several frames in a row are lost.
+		rels[i].SetRetransmit(2*time.Millisecond, 50*time.Millisecond)
 		c, err := New(Config{
 			Nodes: n, Resources: m,
-			Transport: chs[i],
+			Transport: rels[i],
 			Local:     []int{i},
 			Wire:      transport.WireOptions{Delta: true},
+			Tick:      20 * time.Millisecond,
 		}, factory)
 		if err != nil {
 			t.Fatal(err)
@@ -260,7 +292,7 @@ func runChaosLossy(t *testing.T, factory alg.Factory) {
 	time.Sleep(100 * time.Millisecond) // let warmup traffic drain before arming
 
 	for _, ch := range chs {
-		ch.SetFaults(transport.Faults{Drop: 0.02, DelayMax: 300 * time.Microsecond})
+		ch.SetFaults(transport.Faults{Drop: 0.05, Dup: 0.05, DelayMax: 300 * time.Microsecond})
 	}
 	killDone := make(chan struct{})
 	var kills atomic.Int64
@@ -275,14 +307,12 @@ func runChaosLossy(t *testing.T, factory alg.Factory) {
 		}
 	}()
 
-	// Storm phase. The monitor only learns about an acquire once it
-	// has succeeded — Requested and Granted are recorded back to back
-	// — because a timed-out acquire would otherwise leave a pending
-	// entry behind and trip the hypothesis-4 and quiescence checks as
-	// false positives. Safety is unaffected: Granted is still recorded
-	// after the grant and Released strictly before the release, so any
-	// overlap the monitor reports is a real overlap.
-	var granted, wedged atomic.Int64
+	// Storm phase. With retransmission under the protocol, a dropped
+	// frame no longer wedges a request slot — every acquire is
+	// required to complete, and the full Requested/Granted/Released
+	// sequence is monitored just like the lossless profile.
+	const acquireTimeout = 60 * time.Second
+	var granted atomic.Int64
 	var wg sync.WaitGroup
 	for node := 0; node < n; node++ {
 		node := node
@@ -295,17 +325,18 @@ func runChaosLossy(t *testing.T, factory alg.Factory) {
 				ids := make([]int, 0, rs.Len())
 				rs.ForEach(func(r resource.ID) { ids = append(ids, int(r)) })
 
-				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				monMu.Lock()
+				mon.Requested(network.NodeID(node), now())
+				monMu.Unlock()
+
+				ctx, cancel := context.WithTimeout(context.Background(), acquireTimeout)
 				release, err := cs[node].Acquire(ctx, node, ids...)
 				cancel()
 				if err != nil {
-					// A dropped frame wedged this node's request slot;
-					// nothing more can be driven through it.
-					wedged.Add(1)
+					t.Errorf("node %d iter %d: acquire %v: %v (liveness under lossy faults)", node, i, ids, err)
 					return
 				}
 				monMu.Lock()
-				mon.Requested(network.NodeID(node), now())
 				mon.Granted(network.NodeID(node), rs, now())
 				monMu.Unlock()
 				granted.Add(1)
@@ -327,20 +358,63 @@ func runChaosLossy(t *testing.T, factory alg.Factory) {
 		ch.StopFaults()
 	}
 
+	// Nothing may still be pending once every storm acquire returned:
+	// the recovery horizon is the acquire timeout itself.
+	monMu.Lock()
+	mon.CheckLiveness(now(), sim.Time(acquireTimeout))
+	monMu.Unlock()
+
+	// Storm over, faults off: one monitored probe per node on the
+	// healed fabric must succeed promptly, then the run is quiescent.
+	for node := 0; node < n; node++ {
+		rs := resource.NewSet(m)
+		rs.Add(resource.ID(node % m))
+		monMu.Lock()
+		mon.Requested(network.NodeID(node), now())
+		monMu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		release, err := cs[node].Acquire(ctx, node, node%m)
+		cancel()
+		if err != nil {
+			t.Fatalf("node %d: post-storm liveness probe: %v", node, err)
+		}
+		monMu.Lock()
+		mon.Granted(network.NodeID(node), rs, now())
+		mon.Released(network.NodeID(node), rs, now())
+		monMu.Unlock()
+		release()
+	}
+
 	monMu.Lock()
 	defer monMu.Unlock()
-	// No CheckQuiescent here: wedged nodes legitimately hold pending
-	// requests that will never be granted — that is the injected
-	// fault, not a violation. Safety was checked on every event above.
-	if got := mon.Grants(); got < warm {
-		t.Errorf("monitor saw %d grants, want at least the %d warmup grants", got, warm)
+	mon.CheckQuiescent(now())
+	if got, want := mon.Grants(), warm+n*iters+n; got != want {
+		t.Errorf("monitor saw %d grants, want %d", got, want)
 	}
-	var dropped int64
+	var cst transport.ChaosStats
 	for _, ch := range chs {
-		dropped += ch.ChaosStats().Dropped
+		s := ch.ChaosStats()
+		cst.Dropped += s.Dropped
+		cst.Duplicated += s.Duplicated
+		cst.Killed += s.Killed
 	}
-	t.Logf("storm: %d grants, %d nodes wedged, %d conns killed, %d messages dropped",
-		granted.Load(), wedged.Load(), kills.Load(), dropped)
+	var rst transport.RelStats
+	for _, r := range rels {
+		s := r.RelStats()
+		rst.Retransmits += s.Retransmits
+		rst.Acked += s.Acked
+		rst.DupsDropped += s.DupsDropped
+		rst.Gaps += s.Gaps
+	}
+	if cst.Dropped == 0 {
+		t.Errorf("fault window dropped nothing: %+v", cst)
+	}
+	if rst.Retransmits == 0 {
+		t.Errorf("drops injected but nothing retransmitted: %+v", rst)
+	}
+	t.Logf("storm: %d grants; chaos dropped=%d dup=%d conns killed=%d (+%d aborts); recovery retransmits=%d acked=%d dups dropped=%d gaps=%d",
+		granted.Load(), cst.Dropped, cst.Duplicated, cst.Killed, kills.Load(),
+		rst.Retransmits, rst.Acked, rst.DupsDropped, rst.Gaps)
 }
 
 // TestRedialFreshDeltaState is the kill-then-redial regression for the

@@ -72,6 +72,11 @@ type Config struct {
 	// tunes its admission bound and ordering mode toward
 	// (serve.DefaultAdmitTarget when zero; ignored by fixed policies).
 	AdmitTarget time.Duration
+	// Tick, when positive, drives time-based protocol machinery: every
+	// local node implementing alg.Ticker gets a Tick in its event loop
+	// at this period. Required for token leases (core Options.LeaseTTL —
+	// pick a period a few times smaller than the heartbeat interval).
+	Tick time.Duration
 	// Wire tunes the egress wire path of a tunable Transport
 	// (transport.WireTuner — the TCP fabric): delta-encoded token
 	// state, vectored writes, flush scheduling, handshake and window
@@ -97,6 +102,7 @@ type Cluster struct {
 
 	closed  chan struct{}
 	closeMu sync.Mutex
+	tickWG  sync.WaitGroup // the Config.Tick driver goroutine
 }
 
 // New builds and starts a cluster running the given algorithm. The
@@ -193,7 +199,59 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 	for _, id := range local {
 		go c.loops[id].run()
 	}
+	if cfg.Tick > 0 {
+		c.tickWG.Add(1)
+		go c.runTicker(local)
+	}
 	return c, nil
+}
+
+// runTicker posts a cmdTick to every local loop each Config.Tick, so
+// timed protocol machinery advances inside the loops' serialized
+// context. It exits when the cluster closes.
+func (c *Cluster) runTicker(local []int) {
+	defer c.tickWG.Done()
+	tick := time.NewTicker(c.cfg.Tick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-tick.C:
+			for _, id := range local {
+				c.loops[id].post(cmdTick{})
+			}
+		}
+	}
+}
+
+// Drain asks every local node implementing alg.Drainer to hand off the
+// resource tokens it owns, and waits until the handoffs have left the
+// loops — the orderly half of a shutdown, called before Close so a
+// restarting peer does not have to wait out a lease expiry. It reports
+// false when the cluster closed before every drain completed.
+func (c *Cluster) Drain() bool {
+	ok := true
+	var dones []chan struct{}
+	for _, l := range c.loops {
+		if l == nil {
+			continue
+		}
+		done := make(chan struct{})
+		if !l.post(cmdDrain{done: done}) {
+			ok = false
+			continue
+		}
+		dones = append(dones, done)
+	}
+	for _, done := range dones {
+		select {
+		case <-done:
+		case <-c.closed:
+			ok = false
+		}
+	}
+	return ok
 }
 
 // N reports the number of nodes in the whole cluster.
@@ -301,6 +359,7 @@ func (c *Cluster) Close() {
 	default:
 	}
 	close(c.closed)
+	c.tickWG.Wait()
 	for _, l := range c.loops {
 		if l != nil {
 			l.stop()
@@ -441,6 +500,16 @@ type cmdInspect struct {
 	done chan struct{}
 }
 
+// cmdTick is a clock edge from the Config.Tick driver; the loop passes
+// it to the node's alg.Ticker face, if any.
+type cmdTick struct{}
+
+// cmdDrain asks the node to hand off its resource tokens (alg.Drainer)
+// ahead of an orderly shutdown. The loop always closes done.
+type cmdDrain struct {
+	done chan struct{}
+}
+
 func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
 	l := &loop{
 		c:     c,
@@ -509,6 +578,16 @@ func (l *loop) run() {
 			case cmdInspect:
 				l.flushOutbox() // quiesce egress before the snapshot
 				x.fn(l.node)
+				close(x.done)
+			case cmdTick:
+				if tk, ok := l.node.(alg.Ticker); ok {
+					tk.Tick(l.c.now())
+				}
+			case cmdDrain:
+				if dr, ok := l.node.(alg.Drainer); ok {
+					dr.Drain()
+				}
+				l.flushOutbox() // the waiter acts on the handoffs being sent
 				close(x.done)
 			}
 		}

@@ -277,6 +277,15 @@ func (c *Chaos) Err() error {
 	return nil
 }
 
+// SetLossRecovery implements LossRecoverer by forwarding, so a
+// Reliable wrapper stacked above the chaos layer still reaches the
+// TCP fabric underneath.
+func (c *Chaos) SetLossRecovery(on bool) {
+	if lr, ok := c.inner.(LossRecoverer); ok {
+		lr.SetLossRecovery(on)
+	}
+}
+
 // Tune implements WireTuner by forwarding when the inner transport is
 // tunable, so live.Config.Wire reaches a wrapped TCP fabric unchanged.
 func (c *Chaos) Tune(o WireOptions) {

@@ -1,0 +1,538 @@
+// Reliable delivery over a lossy fabric: a Transport wrapper that
+// sequence-numbers every frame per ordered node pair, acknowledges
+// cumulatively, retransmits on a jittered timer, and deduplicates at
+// the receiver — the go-back-N discipline that upgrades the chaos
+// fabric's "safety only" caveat to safety and liveness.
+//
+// The stack composes as live → Reliable → Chaos → TCP/Mem, so
+// retransmitted frames re-traverse the fault injector like any other
+// traffic: a retransmission can itself be dropped, delayed, or
+// duplicated, and the discipline must (and does) converge anyway.
+//
+// Design notes, hard-won:
+//
+//   - Payloads are wrapped in a Rel.Data envelope whose nested message
+//     is encoded statelessly (wire.Enc.Message): retransmission must
+//     re-encode byte-identically and duplicate delivery must be
+//     side-effect free, both of which per-stream delta caches would
+//     break. Delta savings on wrapped links are deliberately forgone.
+//   - Acks are never sent inline from the receive handler. Over the
+//     zero-latency Mem fabric Send is a synchronous handler call, so
+//     an inline ack on a self-link would re-enter the binder slot lock
+//     and deadlock. A background acker goroutine coalesces and sends
+//     cumulative acks instead.
+//   - Stats() reports the logical kinds only (what the caller sent),
+//     never Rel.* envelope counts: the transport contract's per-kind
+//     accounting is about protocol cost, and the conformance suite
+//     rejects any extra kind. Recovery traffic is accounted separately
+//     in RelStats.
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"mralloc/internal/network"
+	"mralloc/internal/wire"
+)
+
+// relData is the sequenced envelope around one logical message.
+type relData struct {
+	Seq uint64
+	M   network.Message
+}
+
+func (relData) Kind() string { return "Rel.Data" }
+
+// relAck cumulatively acknowledges every sequence number ≤ Cum on the
+// reverse of the link it travels (an ack from b to a covers a→b data).
+type relAck struct {
+	Cum uint64
+}
+
+func (relAck) Kind() string { return "Rel.Ack" }
+
+func init() {
+	wire.Register("Rel.Data",
+		func(e *wire.Enc, m network.Message) {
+			d := m.(relData)
+			e.Uvarint(d.Seq)
+			e.Message(d.M)
+		},
+		func(d *wire.Dec) network.Message {
+			var out relData
+			out.Seq = d.Uvarint()
+			out.M = d.Message()
+			return out
+		})
+	wire.Register("Rel.Ack",
+		func(e *wire.Enc, m network.Message) {
+			e.Uvarint(m.(relAck).Cum)
+		},
+		func(d *wire.Dec) network.Message {
+			return relAck{Cum: d.Uvarint()}
+		})
+	// The data sample nests an ack so the corpus stays self-contained
+	// in this package (no dependency on any protocol package's kinds).
+	wire.RegisterSamples(
+		relAck{Cum: 0},
+		relAck{Cum: 1 << 40},
+		relData{Seq: 3, M: relAck{Cum: 2}},
+	)
+}
+
+// Retransmit timer defaults: the base must exceed a healthy link's
+// round trip (loopback plus chaos delays of a few hundred µs) so acks
+// usually win the race, and the cap bounds how long a healed link
+// stays idle. Same equal-jitter discipline as serve.Backoff.
+const (
+	DefaultRetransmitBase = 10 * time.Millisecond
+	DefaultRetransmitMax  = 250 * time.Millisecond
+)
+
+// RelStats counts the recovery layer's own work, separately from the
+// logical per-kind Stats: these are the observability counters the
+// chaos bench rows and the mrallocd shutdown summary surface.
+type RelStats struct {
+	// Retransmits counts data frames re-sent by the timer.
+	Retransmits int64
+	// Acked counts data frames confirmed delivered (cumulative-ack
+	// progress on the send side).
+	Acked int64
+	// DupsDropped counts received data frames discarded as duplicates
+	// (sequence number below the next expected one).
+	DupsDropped int64
+	// Gaps counts received data frames discarded as out-of-order
+	// (sequence number above the next expected one — an earlier frame
+	// was lost and go-back-N will refill the hole).
+	Gaps int64
+	// AcksSent counts Rel.Ack frames sent by the acker.
+	AcksSent int64
+}
+
+type relLinkKey struct{ from, to network.NodeID }
+
+// relSend is the send half of one ordered link: frames outstanding
+// toward one destination.
+type relSend struct {
+	mu      sync.Mutex
+	nextSeq uint64 // next sequence number to assign (first frame is 1)
+	unacked []relData
+	// attempt counts consecutive retransmission rounds without ack
+	// progress; deadline is when the next round fires.
+	attempt  int
+	deadline time.Time
+}
+
+// relRecv is the receive half of one ordered link.
+type relRecv struct {
+	mu       sync.Mutex
+	expected uint64 // next sequence number to deliver (starts at 1)
+	ackDue   bool
+}
+
+// Reliable wraps an inner Transport with per-link acked, retransmitted,
+// deduplicated delivery. It owns the inner transport: closing the
+// Reliable closes it. See the package comment on reliable.go for the
+// design constraints.
+type Reliable struct {
+	inner Transport
+	bind  *binder
+	stats kindStats // logical kinds, as the caller sent them
+
+	base, max time.Duration
+	rngMu     sync.Mutex
+	rng       *rand.Rand
+
+	mu    sync.Mutex
+	send  map[relLinkKey]*relSend
+	recv  map[relLinkKey]*relRecv
+	relMu sync.Mutex
+	rel   RelStats
+
+	ackKick chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewReliable wraps inner in the ack/retransmit discipline. Both
+// endpoints of every link must be wrapped (the envelope kinds are not
+// understood by a bare endpoint's protocol handlers). The wrapper owns
+// inner and closes it on Close.
+// LossRecoverer is implemented by transports that can treat broken
+// writes as recoverable instead of fatal. The Reliable wrapper arms it
+// on construction: everything lost with a dead connection is
+// retransmitted after the redial, so a failed write is part of normal
+// recovery, not a silently dropped frame.
+type LossRecoverer interface {
+	SetLossRecovery(on bool)
+}
+
+func NewReliable(inner Transport) *Reliable {
+	r := &Reliable{
+		inner:   inner,
+		bind:    newBinder(inner.N()),
+		base:    DefaultRetransmitBase,
+		max:     DefaultRetransmitMax,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		send:    make(map[relLinkKey]*relSend),
+		recv:    make(map[relLinkKey]*relRecv),
+		ackKick: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	if lr, ok := inner.(LossRecoverer); ok {
+		lr.SetLossRecovery(true)
+	}
+	// Install the unwrapping handler for every hosted node now; the
+	// wrapper's own binder buffers traffic that beats the caller's Bind.
+	for id := 0; id < inner.N(); id++ {
+		if inner.Hosts(network.NodeID(id)) {
+			id := network.NodeID(id)
+			inner.Bind(id, func(from network.NodeID, m network.Message) {
+				r.onRecv(from, id, m)
+			})
+		}
+	}
+	r.wg.Add(2)
+	go r.acker()
+	go r.retransmitter()
+	return r
+}
+
+// SetRetransmit tunes the retransmission timer (equal jitter in
+// [d/2, d], d = min(max, base·2ⁿ) after n fruitless rounds). Call
+// before traffic; zero or negative values select the defaults.
+func (r *Reliable) SetRetransmit(base, max time.Duration) {
+	if base > 0 {
+		r.base = base
+	}
+	if max > 0 {
+		r.max = max
+	}
+}
+
+// N reports the cluster size of the wrapped endpoint.
+func (r *Reliable) N() int { return r.inner.N() }
+
+// Hosts reports whether the wrapped endpoint hosts id.
+func (r *Reliable) Hosts(id network.NodeID) bool { return r.inner.Hosts(id) }
+
+// Bind installs the delivery handler for a hosted node; deliveries
+// that arrived first are flushed to it in order.
+func (r *Reliable) Bind(id network.NodeID, h Handler) { r.bind.bind(id, h) }
+
+func (r *Reliable) sendLink(k relLinkKey) *relSend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.send[k]
+	if l == nil {
+		l = &relSend{nextSeq: 1}
+		r.send[k] = l
+	}
+	return l
+}
+
+func (r *Reliable) recvLink(k relLinkKey) *relRecv {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.recv[k]
+	if l == nil {
+		l = &relRecv{expected: 1}
+		r.recv[k] = l
+	}
+	return l
+}
+
+// Send wraps m in a sequenced envelope and transmits it, retaining it
+// for retransmission until acknowledged.
+func (r *Reliable) Send(from, to network.NodeID, m network.Message) {
+	r.sendEnvelopes(from, to, []network.Message{m})
+}
+
+// SendBatch sequences and transmits a run of messages as a unit,
+// forwarding to the inner fabric's batch path when it has one.
+func (r *Reliable) SendBatch(from, to network.NodeID, msgs []network.Message) {
+	r.sendEnvelopes(from, to, msgs)
+}
+
+func (r *Reliable) sendEnvelopes(from, to network.NodeID, msgs []network.Message) {
+	if len(msgs) == 0 || r.isClosed() {
+		return
+	}
+	l := r.sendLink(relLinkKey{from, to})
+	// The link lock is held across the inner send so envelope sequence
+	// numbers hit the wire in order on a healthy link (go-back-N
+	// tolerates reordering, but not wasting it on the common case).
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	envs := make([]network.Message, len(msgs))
+	for i, m := range msgs {
+		env := relData{Seq: l.nextSeq, M: m}
+		l.nextSeq++
+		l.unacked = append(l.unacked, env)
+		envs[i] = env
+		r.stats.count(m.Kind())
+	}
+	if l.deadline.IsZero() {
+		l.deadline = time.Now().Add(r.jitter(l.attempt))
+	}
+	if bs, ok := r.inner.(BatchSender); ok && len(envs) > 1 {
+		bs.SendBatch(from, to, envs)
+	} else {
+		for _, env := range envs {
+			r.inner.Send(from, to, env)
+		}
+	}
+}
+
+// onRecv unwraps inner deliveries addressed to hosted node `to`.
+func (r *Reliable) onRecv(from, to network.NodeID, m network.Message) {
+	switch env := m.(type) {
+	case relData:
+		k := relLinkKey{from, to} // data link: from → to
+		l := r.recvLink(k)
+		l.mu.Lock()
+		switch {
+		case env.Seq == l.expected:
+			l.expected++
+			l.ackDue = true
+			l.mu.Unlock()
+			// Deliver while no link lock is held: the caller's handler
+			// may send (live's does not, but the contract allows it).
+			r.bind.deliver(to, from, env.M)
+			r.kickAcker()
+			return
+		case env.Seq < l.expected:
+			// Duplicate (chaos Dup, or a retransmission that raced its
+			// own ack): drop the payload, but re-ack so a sender whose
+			// ack was lost still advances.
+			l.ackDue = true
+			l.mu.Unlock()
+			r.addRel(func(s *RelStats) { s.DupsDropped++ })
+			r.kickAcker()
+			return
+		default:
+			// Gap: an earlier frame was lost. Discard and re-ack the
+			// prefix; the sender's timer refills the hole in order.
+			l.ackDue = true
+			l.mu.Unlock()
+			r.addRel(func(s *RelStats) { s.Gaps++ })
+			r.kickAcker()
+			return
+		}
+	case relAck:
+		// Ack for data we sent to `from`: the link is to → from.
+		l := r.sendLink(relLinkKey{to, from})
+		l.mu.Lock()
+		n := 0
+		for n < len(l.unacked) && l.unacked[n].Seq <= env.Cum {
+			n++
+		}
+		if n > 0 {
+			rest := l.unacked[n:]
+			copy(l.unacked, rest)
+			for i := len(rest); i < len(l.unacked); i++ {
+				l.unacked[i] = relData{}
+			}
+			l.unacked = l.unacked[:len(rest)]
+			// Progress: restart the backoff schedule.
+			l.attempt = 0
+			if len(l.unacked) == 0 {
+				l.deadline = time.Time{}
+			} else {
+				l.deadline = time.Now().Add(r.jitter(0))
+			}
+		}
+		l.mu.Unlock()
+		if n > 0 {
+			r.addRel(func(s *RelStats) { s.Acked += int64(n) })
+		}
+	default:
+		// A frame from an unwrapped peer (misconfiguration): deliver it
+		// rather than wedge — safety degrades to the inner fabric's.
+		r.bind.deliver(to, from, m)
+	}
+}
+
+func (r *Reliable) kickAcker() {
+	select {
+	case r.ackKick <- struct{}{}:
+	default:
+	}
+}
+
+// acker drains pending cumulative acks in the background (never inline
+// from a receive handler — see the package comment).
+func (r *Reliable) acker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.ackKick:
+		}
+		r.mu.Lock()
+		links := make([]relLinkKey, 0, len(r.recv))
+		for k := range r.recv {
+			links = append(links, k)
+		}
+		r.mu.Unlock()
+		for _, k := range links {
+			l := r.recvLink(k)
+			l.mu.Lock()
+			due, cum := l.ackDue, l.expected-1
+			l.ackDue = false
+			l.mu.Unlock()
+			if !due || r.isClosed() {
+				continue
+			}
+			// The ack travels the reverse direction: receiver (k.to)
+			// back to the data's sender (k.from).
+			r.inner.Send(k.to, k.from, relAck{Cum: cum})
+			r.addRel(func(s *RelStats) { s.AcksSent++ })
+		}
+	}
+}
+
+// retransmitter periodically rescans send links and re-sends every
+// unacked frame of any link whose timer expired (go-back-N).
+func (r *Reliable) retransmitter() {
+	defer r.wg.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		r.mu.Lock()
+		links := make([]relLinkKey, 0, len(r.send))
+		for k := range r.send {
+			links = append(links, k)
+		}
+		r.mu.Unlock()
+		for _, k := range links {
+			l := r.sendLink(k)
+			l.mu.Lock()
+			if len(l.unacked) == 0 || l.deadline.IsZero() || now.Before(l.deadline) {
+				l.mu.Unlock()
+				continue
+			}
+			resend := make([]network.Message, len(l.unacked))
+			for i, env := range l.unacked {
+				resend[i] = env
+			}
+			l.attempt++
+			l.deadline = now.Add(r.jitter(l.attempt))
+			// Hold the link lock across the re-send so a concurrent
+			// fresh Send cannot interleave a higher sequence number
+			// into the middle of the retransmitted run.
+			if r.isClosed() {
+				l.mu.Unlock()
+				return
+			}
+			if bs, ok := r.inner.(BatchSender); ok && len(resend) > 1 {
+				bs.SendBatch(k.from, k.to, resend)
+			} else {
+				for _, env := range resend {
+					r.inner.Send(k.from, k.to, env)
+				}
+			}
+			l.mu.Unlock()
+			r.addRel(func(s *RelStats) { s.Retransmits += int64(len(resend)) })
+		}
+	}
+}
+
+// jitter computes the equal-jitter deadline delay after `attempt`
+// fruitless retransmission rounds: uniform in [d/2, d] with
+// d = min(max, base·2ⁿ).
+func (r *Reliable) jitter(attempt int) time.Duration {
+	d := r.base
+	for i := 0; i < attempt && d < r.max; i++ {
+		d *= 2
+	}
+	if d > r.max {
+		d = r.max
+	}
+	r.rngMu.Lock()
+	f := r.rng.Float64()
+	r.rngMu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+func (r *Reliable) addRel(f func(*RelStats)) {
+	r.relMu.Lock()
+	f(&r.rel)
+	r.relMu.Unlock()
+}
+
+// RelStats snapshots the recovery layer's counters.
+func (r *Reliable) RelStats() RelStats {
+	r.relMu.Lock()
+	defer r.relMu.Unlock()
+	return r.rel
+}
+
+// Stats reports the logical per-kind counters — the messages the
+// caller sent, not the Rel.* envelopes and acks that carried them
+// (those are RelStats' business).
+func (r *Reliable) Stats() map[string]int64 { return r.stats.snapshot() }
+
+// Tune forwards egress wire options to the inner fabric.
+func (r *Reliable) Tune(o WireOptions) {
+	if t, ok := r.inner.(WireTuner); ok {
+		t.Tune(o)
+	}
+}
+
+// SetShape forwards cluster-shape validation to the inner fabric (the
+// nested payload decodes under the same shape as its envelope).
+func (r *Reliable) SetShape(nodes, resources int) {
+	if s, ok := r.inner.(ShapeValidator); ok {
+		s.SetShape(nodes, resources)
+	}
+}
+
+// AbortConns forwards to the inner fabric's connection killer; frames
+// lost to the abort are exactly what the retransmission timer repairs.
+func (r *Reliable) AbortConns() int {
+	if k, ok := r.inner.(ConnKiller); ok {
+		return k.AbortConns()
+	}
+	return 0
+}
+
+// Err reports the inner fabric's background error, if it tracks one.
+func (r *Reliable) Err() error {
+	if e, ok := r.inner.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+func (r *Reliable) isClosed() bool {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	return r.closed
+}
+
+// Close stops the recovery goroutines and closes the inner transport.
+// Idempotent; unacked frames are abandoned (the cluster is going away).
+func (r *Reliable) Close() error {
+	r.closeMu.Lock()
+	if r.closed {
+		r.closeMu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.closeMu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+	return r.inner.Close()
+}

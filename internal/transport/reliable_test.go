@@ -1,0 +1,179 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"mralloc/internal/leakcheck"
+	"mralloc/internal/network"
+	"mralloc/internal/transport"
+	"mralloc/internal/transport/transporttest"
+)
+
+// reliableMemFactory: every node on one Mem endpoint behind one
+// Reliable wrapper — the wrapper must be a conformant Transport even
+// when the fabric underneath is already perfect.
+func reliableMemFactory(t *testing.T, n int) []transport.Transport {
+	r := transport.NewReliable(transport.NewMem(n, 0))
+	eps := make([]transport.Transport, n)
+	for i := range eps {
+		eps[i] = r
+	}
+	return eps
+}
+
+// reliableTCPFactory: one TCP endpoint per node, each behind its own
+// Reliable wrapper — envelopes and acks cross real sockets.
+func reliableTCPFactory(t *testing.T, n int) []transport.Transport {
+	raw := make([]*transport.TCP, n)
+	addrs := make([]string, n)
+	for i := range raw {
+		tr, err := transport.ListenTCP("127.0.0.1:0", n, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[i] = tr
+		addrs[i] = tr.Addr()
+	}
+	eps := make([]transport.Transport, n)
+	for i, tr := range raw {
+		if err := tr.Connect(addrs); err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = transport.NewReliable(tr)
+	}
+	return eps
+}
+
+// reliableLossyFactory: Reliable over a chaos fabric dropping,
+// duplicating, and delaying frames. The conformance suite's guarantees
+// (no loss, FIFO, no duplication) must hold anyway — this is the
+// wrapper's whole reason to exist.
+func reliableLossyFactory(t *testing.T, n int) []transport.Transport {
+	ch := transport.NewChaos(transport.NewMem(n, 0), 0x10552)
+	ch.SetFaults(transport.Faults{
+		Drop:     0.10,
+		Dup:      0.10,
+		DelayMin: 0,
+		DelayMax: 200 * time.Microsecond,
+	})
+	r := transport.NewReliable(ch)
+	r.SetRetransmit(2*time.Millisecond, 50*time.Millisecond)
+	eps := make([]transport.Transport, n)
+	for i := range eps {
+		eps[i] = r
+	}
+	return eps
+}
+
+func TestReliableMemConformance(t *testing.T) {
+	transporttest.TestTransport(t, reliableMemFactory)
+}
+
+func TestReliableTCPConformance(t *testing.T) {
+	transporttest.TestTransport(t, reliableTCPFactory)
+}
+
+func TestReliableLossyConformance(t *testing.T) {
+	transporttest.TestTransport(t, reliableLossyFactory)
+}
+
+// TestReliableDupExactlyOnce is the deterministic dup regression: with
+// the chaos fabric duplicating every single frame (Dup = 1), each
+// message must still be delivered exactly once, in order, and the
+// wrapper must account the discarded copies.
+func TestReliableDupExactlyOnce(t *testing.T) {
+	ch := transport.NewChaos(transport.NewMem(2, 0), 7)
+	ch.SetFaults(transport.Faults{Dup: 1.0})
+	r := transport.NewReliable(ch)
+	defer r.Close()
+
+	const msgs = 50
+	got := make(chan transporttest.Msg, 4*msgs)
+	r.Bind(1, func(from network.NodeID, m network.Message) {
+		got <- m.(transporttest.Msg)
+	})
+	r.Bind(0, func(network.NodeID, network.Message) {})
+	for i := 1; i <= msgs; i++ {
+		r.Send(0, 1, transporttest.Msg{K: transporttest.KindA, From: 0, Seq: int64(i)})
+	}
+	for i := 1; i <= msgs; i++ {
+		select {
+		case m := <-got:
+			if m.Seq != int64(i) {
+				t.Fatalf("delivery %d: got seq %d (dup or reorder leaked through)", i, m.Seq)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+	// No extra deliveries may trail in: every duplicate was dropped.
+	select {
+	case m := <-got:
+		t.Fatalf("duplicate delivered: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if rs := r.RelStats(); rs.DupsDropped == 0 {
+		t.Fatalf("every frame was duplicated but DupsDropped = 0 (stats: %+v)", rs)
+	}
+}
+
+// TestReliableRetransmitAfterTotalLoss wedges a link completely (Drop
+// = 1), then heals it: the retransmission timer must deliver the
+// frames sent into the black hole, in order, with no caller action.
+func TestReliableRetransmitAfterTotalLoss(t *testing.T) {
+	ch := transport.NewChaos(transport.NewMem(2, 0), 11)
+	ch.SetFaults(transport.Faults{Drop: 1.0})
+	r := transport.NewReliable(ch)
+	r.SetRetransmit(2*time.Millisecond, 20*time.Millisecond)
+	defer r.Close()
+
+	got := make(chan transporttest.Msg, 16)
+	r.Bind(1, func(from network.NodeID, m network.Message) {
+		got <- m.(transporttest.Msg)
+	})
+	r.Bind(0, func(network.NodeID, network.Message) {})
+	for i := 1; i <= 3; i++ {
+		r.Send(0, 1, transporttest.Msg{K: transporttest.KindA, From: 0, Seq: int64(i)})
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("delivery through a fully dropping link: %+v", m)
+	case <-time.After(30 * time.Millisecond):
+	}
+	ch.StopFaults()
+	for i := 1; i <= 3; i++ {
+		select {
+		case m := <-got:
+			if m.Seq != int64(i) {
+				t.Fatalf("post-heal delivery %d: got seq %d", i, m.Seq)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("frame %d lost despite retransmission", i)
+		}
+	}
+	if rs := r.RelStats(); rs.Retransmits == 0 {
+		t.Fatalf("link healed by retransmission but Retransmits = 0 (stats: %+v)", rs)
+	}
+}
+
+// TestReliableCloseLeaksNothing pins the wrapper's goroutine hygiene:
+// acker and retransmitter must exit on Close even with unacked frames
+// outstanding.
+func TestReliableCloseLeaksNothing(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ch := transport.NewChaos(transport.NewMem(2, 0), 13)
+	ch.SetFaults(transport.Faults{Drop: 1.0})
+	r := transport.NewReliable(ch)
+	r.SetRetransmit(time.Millisecond, 5*time.Millisecond)
+	r.Bind(0, func(network.NodeID, network.Message) {})
+	r.Bind(1, func(network.NodeID, network.Message) {})
+	r.Send(0, 1, transporttest.Msg{K: transporttest.KindA, From: 0, Seq: 1})
+	time.Sleep(10 * time.Millisecond) // let at least one retransmission fire
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -93,6 +93,12 @@ type TCP struct {
 	// kept selectable so benchmarks can pin the before/after.
 	noBatch atomic.Bool
 
+	// lossRecovered, when set (SetLossRecovery), marks broken writes as
+	// recoverable: a reliability layer above retransmits whatever died
+	// with the connection, so a failed write drops the conn for redial
+	// without poisoning Err — the frame was neither silent nor lost.
+	lossRecovered atomic.Bool
+
 	// Wire tuning (Tune): delta token encoding, vectored egress, flush
 	// scheduling, receive window and hello suppression. Like noBatch,
 	// they apply to connections dialed after the call. Vectored egress
@@ -685,12 +691,16 @@ func (t *TCP) AbortConns() int {
 
 // writeFailed runs on a connection's flusher goroutine when a write
 // errors: the connection is dropped so the next Send to that peer
-// redials, and the failure is recorded unless the transport is closing.
+// redials, and the failure is recorded unless the transport is closing
+// or a reliability layer above recovers lost frames (SetLossRecovery).
 func (t *TCP) writeFailed(oc *outConn, err error) {
 	if !oc.broken.CompareAndSwap(false, true) {
 		return
 	}
 	t.dropConn(oc)
+	if t.lossRecovered.Load() {
+		return
+	}
 	select {
 	case <-t.closed:
 	default:
@@ -875,6 +885,13 @@ func (t *TCP) fail(err error) {
 	}
 	t.errMu.Unlock()
 }
+
+// SetLossRecovery implements LossRecoverer: with a reliability layer
+// stacked above, a frame that dies with a broken connection is
+// retransmitted after the redial, so write failures stop counting as
+// the endpoint's fatal first error. Dial failures and corrupt inbound
+// frames still do — the layer above cannot recover those.
+func (t *TCP) SetLossRecovery(on bool) { t.lossRecovered.Store(on) }
 
 // Err reports the first asynchronous transport error observed (dial
 // failure past the retry window, broken write, corrupt inbound frame),

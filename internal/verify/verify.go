@@ -100,6 +100,19 @@ func (mo *Monitor) CheckQuiescent(t sim.Time) {
 	}
 }
 
+// CheckLiveness verifies that at time t no pending request has waited
+// longer than bound — the bounded-liveness assertion for fault-injection
+// runs, where CheckQuiescent's fully-drained form only applies after
+// the faults stop. bound must cover the configured recovery horizon
+// (retransmission backoff, lease expiry plus regeneration).
+func (mo *Monitor) CheckLiveness(t, bound sim.Time) {
+	for s, since := range mo.pending {
+		if t-since > bound {
+			mo.report(Violation{t, fmt.Sprintf("request from site %d pending for %v, bound %v (liveness under faults)", s, t-since, bound)})
+		}
+	}
+}
+
 // PendingRequests reports the requests not yet granted (expected to be
 // small and recent when a run is cut off at its horizon).
 func (mo *Monitor) PendingRequests() map[network.NodeID]sim.Time {

@@ -155,6 +155,22 @@ func (e *Enc) Int64s(v []int64) {
 	}
 }
 
+// Message appends a nested message as a length-prefixed frame in the
+// stateless (nil-Stream) encoding. Stateless on purpose: envelope
+// kinds that may retransmit a frame (the transport's reliable-delivery
+// layer) need re-encoding to be byte-identical and duplicates to be
+// side-effect free, which per-stream codec state (delta caches) would
+// break. Panics on an unregistered kind — the envelope's encoder is
+// only ever handed messages the protocol itself produced.
+func (e *Enc) Message(m network.Message) {
+	b, err := Append(nil, m)
+	if err != nil {
+		panic(err)
+	}
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 // Set appends a resource set: universe size, member count, then the
 // members as deltas (ascending order makes deltas small).
 func (e *Enc) Set(s resource.Set) {
@@ -410,6 +426,26 @@ func (d *Dec) Int64s() []int64 {
 		out[i] = d.Varint()
 	}
 	return out
+}
+
+// Message reads a nested message appended by Enc.Message, decoding it
+// under the same cluster-shape validation as the envelope (but a fresh
+// allocation budget proportional to the nested frame, and no Stream —
+// see Enc.Message for why nested encodings are stateless). Returns nil
+// and fails the decode on any malformed nested frame.
+func (d *Dec) Message() network.Message {
+	n := d.Count()
+	if d.err != nil {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	m, err := DecodeFor(b, d.nodes, d.resources)
+	if err != nil {
+		d.fail("nested message: %v", err)
+		return nil
+	}
+	return m
 }
 
 // Set reads a resource set, validating the universe bound, the member

@@ -10,12 +10,14 @@ import (
 	"mralloc/internal/wire"
 
 	// Each protocol package registers its message codecs in init; the
-	// serve package registers the client-facing kinds the same way.
+	// serve package registers the client-facing kinds and the transport
+	// package its reliable-delivery envelope kinds the same way.
 	_ "mralloc/internal/bouabdallah"
 	_ "mralloc/internal/core"
 	_ "mralloc/internal/incremental"
 	_ "mralloc/internal/pmutex"
 	_ "mralloc/internal/serve"
+	_ "mralloc/internal/transport"
 )
 
 // expectedKinds is every message kind that can cross a live-cluster
@@ -26,8 +28,9 @@ var expectedKinds = []string{
 	"BL.CTRequest", "BL.CTToken", "BL.Inquire", "BL.ResToken",
 	"Client.Acquire", "Client.Deny", "Client.Grant", "Client.Release",
 	"Inc.Request", "Inc.Token",
-	"LASS.Request", "LASS.Response",
+	"LASS.HB", "LASS.Lease", "LASS.Regen", "LASS.Request", "LASS.Response",
 	"PMutex.Request", "PMutex.Token",
+	"Rel.Ack", "Rel.Data",
 }
 
 func TestAllProtocolKindsRegistered(t *testing.T) {
