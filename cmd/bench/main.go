@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                  # full grid -> BENCH_5.json
+//	go run ./cmd/bench                  # full grid -> BENCH_6.json
 //	go run ./cmd/bench -out other.json
 //	go run ./cmd/bench -run sim/n32     # scenario name filter (substring)
 //	go run ./cmd/bench -run largeN      # just the payload-path tier
-//	go run ./cmd/bench -merge BENCH_3.json -run openloop
-//	                                    # keep BENCH_3's rows byte-identical,
+//	go run ./cmd/bench -merge BENCH_5.json -run sharded
+//	                                    # keep BENCH_5's rows byte-identical,
 //	                                    # run and append only the new tier
 //	go run ./cmd/bench -capture-baseline # print Go literal for baseline.go
 //
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output report path")
+	out := flag.String("out", "BENCH_6.json", "output report path")
 	filter := flag.String("run", "", "only run scenarios whose name contains this substring")
 	merge := flag.String("merge", "", "prior report whose rows are kept verbatim; scenarios it already has are skipped, new ones appended")
 	capture := flag.Bool("capture-baseline", false, "print the measurements as a Go literal for baseline.go instead of writing the report")

@@ -61,6 +61,8 @@ import (
 // daemonConfig carries the parsed flags into run.
 type daemonConfig struct {
 	nodes, resources int
+	shards           int
+	crossTwoPhase    bool
 	algName          string
 	listen           string
 	peersCSV         string
@@ -97,6 +99,8 @@ func main() {
 	var cfg daemonConfig
 	flag.IntVar(&cfg.nodes, "nodes", 3, "total number of nodes N in the cluster")
 	flag.IntVar(&cfg.resources, "resources", 16, "number of resources M")
+	flag.IntVar(&cfg.shards, "shards", 1, "split the resource universe into this many contiguous shards, each with its own allocator instances and event loops; every daemon of the cluster must agree (1 = flat, wire-compatible with pre-shard builds)")
+	flag.BoolVar(&cfg.crossTwoPhase, "cross-two-phase", false, "acquire cross-shard sets with the parallel two-phase scheme (timeout, hand back, retry) instead of ordered shard locking")
 	flag.StringVar(&cfg.algName, "alg", "counter-loan", "algorithm: counter-loan, counter-no-loan, incremental, bouabdallah")
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7000", "TCP listen address of this process")
 	flag.StringVar(&cfg.peersCSV, "peers", "", "comma-separated list of N addresses; entry i hosts node i")
@@ -208,6 +212,9 @@ func run(cfg daemonConfig) error {
 	if phi < 1 || phi > resources {
 		return fmt.Errorf("-phi %d outside [1, %d]", phi, resources)
 	}
+	if cfg.shards < 1 || cfg.shards > resources {
+		return fmt.Errorf("-shards %d outside [1, %d]", cfg.shards, resources)
+	}
 	if cfg.pprofAddr != "" {
 		// Profiles for live bench/debug runs: the default mux carries
 		// net/http/pprof. Failure to bind is fatal — a daemon asked to
@@ -246,6 +253,14 @@ func run(cfg daemonConfig) error {
 		rel = transport.NewReliable(clusterTr)
 		clusterTr = rel
 	}
+	if cfg.shards > 1 {
+		// The chaos and reliable wrappers forward the flat transport
+		// only; a sharded cluster needs the endpoint's Sharder face.
+		if _, ok := clusterTr.(transport.Sharder); !ok {
+			clusterTr.Close()
+			return fmt.Errorf("-shards %d: the -chaos-*/-reliable wrappers do not carry sharded traffic", cfg.shards)
+		}
+	}
 	// Leases need a clock: tick each node a few times per heartbeat.
 	var tick time.Duration
 	if cfg.leaseTTL > 0 {
@@ -258,13 +273,15 @@ func run(cfg daemonConfig) error {
 		}
 	}
 	cluster, err := live.New(live.Config{
-		Nodes:       nodes,
-		Resources:   resources,
-		Transport:   clusterTr,
-		Local:       local,
-		Policy:      policy,
-		AdmitTarget: cfg.admitTarget,
-		Tick:        tick,
+		Nodes:              nodes,
+		Resources:          resources,
+		Shards:             cfg.shards,
+		CrossShardTwoPhase: cfg.crossTwoPhase,
+		Transport:          clusterTr,
+		Local:              local,
+		Policy:             policy,
+		AdmitTarget:        cfg.admitTarget,
+		Tick:               tick,
 		Wire: transport.WireOptions{
 			Delta:         cfg.wireDelta,
 			NoVectored:    !cfg.wireWritev,
@@ -278,14 +295,20 @@ func run(cfg daemonConfig) error {
 		return err
 	}
 	defer cluster.Close()
-	fmt.Printf("mrallocd: hosting nodes %v of %d (%s, M=%d) on %s\n",
-		local, nodes, cfg.algName, resources, tr.Addr())
+	if cfg.shards > 1 {
+		fmt.Printf("mrallocd: hosting nodes %v of %d (%s, M=%d, G=%d shards) on %s\n",
+			local, nodes, cfg.algName, resources, cfg.shards, tr.Addr())
+	} else {
+		fmt.Printf("mrallocd: hosting nodes %v of %d (%s, M=%d) on %s\n",
+			local, nodes, cfg.algName, resources, tr.Addr())
+	}
 
 	if cfg.clientListen != "" {
 		scfg := serve.ServerConfig{
 			Listen:       cfg.clientListen,
 			Nodes:        nodes,
 			Resources:    resources,
+			Shards:       cfg.shards,
 			Local:        local,
 			MaxQueue:     cfg.maxQueue,
 			EgressBudget: cfg.egressBudget,
@@ -397,25 +420,42 @@ func run(cfg daemonConfig) error {
 
 // printRecovery reports the fault-recovery machinery's work: the
 // reliable wrapper's retransmission ledger (when -reliable is armed)
-// and the lease/regeneration counters aggregated over the local
-// counter-algorithm nodes (when -lease-ttl is armed).
+// and the counter-algorithm protocol counters aggregated over the
+// local nodes — one row per shard on a sharded cluster, plus the
+// aggregate line the flat daemon has always printed.
 func printRecovery(cluster *live.Cluster, local []int, rel *transport.Reliable) {
 	if rel != nil {
 		s := rel.RelStats()
 		fmt.Printf("reliable link: retransmits=%d acked=%d dups-dropped=%d gaps=%d acks-sent=%d\n",
 			s.Retransmits, s.Acked, s.DupsDropped, s.Gaps, s.AcksSent)
 	}
+	g := cluster.Shards()
+	perShard := make([]core.Counters, g)
 	var agg core.Counters
 	seen := false
-	for _, id := range local {
-		cluster.Inspect(id, func(n alg.Node) {
-			if nd, ok := n.(*core.Node); ok {
-				agg.Add(nd.Counters())
-				seen = true
-			}
-		})
+	for s := 0; s < g; s++ {
+		for _, id := range local {
+			cluster.InspectShard(s, id, func(n alg.Node) {
+				if nd, ok := n.(*core.Node); ok {
+					perShard[s].Add(nd.Counters())
+					seen = true
+				}
+			})
+		}
+		agg.Add(perShard[s])
 	}
-	if seen && (agg.Heartbeats > 0 || agg.Regens > 0 || agg.Fenced > 0 || agg.Drained > 0) {
+	if !seen {
+		return
+	}
+	if g > 1 {
+		smap := cluster.ShardLayout()
+		for s := 0; s < g; s++ {
+			lo := int(smap.Start(s))
+			fmt.Printf("  shard %d [%d..%d]: %s\n", s, lo, lo+smap.Size(s)-1, perShard[s])
+		}
+		fmt.Printf("counters (all shards): %s\n", agg)
+	}
+	if agg.Heartbeats > 0 || agg.Regens > 0 || agg.Fenced > 0 || agg.Drained > 0 {
 		fmt.Printf("leases: heartbeats=%d grants=%d expiries=%d regens=%d fenced=%d drained=%d\n",
 			agg.Heartbeats, agg.LeaseGrants, agg.LeaseExpiries, agg.Regens, agg.Fenced, agg.Drained)
 	}

@@ -331,6 +331,7 @@ func Grid() []Scenario {
 	out = append(out, BackpressureGrid()...)
 	out = append(out, OpenLoopGrid()...)
 	out = append(out, RecoveryGrid()...)
+	out = append(out, ShardedGrid()...)
 	return out
 }
 

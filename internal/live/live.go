@@ -36,6 +36,7 @@ import (
 
 	"mralloc/internal/alg"
 	"mralloc/internal/network"
+	"mralloc/internal/resource"
 	"mralloc/internal/serve"
 	"mralloc/internal/sim"
 	"mralloc/internal/transport"
@@ -72,6 +73,26 @@ type Config struct {
 	// tunes its admission bound and ordering mode toward
 	// (serve.DefaultAdmitTarget when zero; ignored by fixed policies).
 	AdmitTarget time.Duration
+	// Shards, when above 1, splits the resource universe into that many
+	// contiguous shards (resource.ShardMap), each running its own
+	// allocator instances and event loops: single-shard acquires from
+	// different shards proceed fully in parallel on every node. The
+	// transport must implement transport.Sharder (the Mem and TCP
+	// fabrics do); every process of a multi-process cluster must
+	// configure the same count. 0 or 1 selects the flat single-universe
+	// cluster — exactly the pre-shard code path, byte-for-byte on the
+	// wire.
+	Shards int
+	// CrossShardTwoPhase switches acquires spanning several shards from
+	// ordered locking (shards taken one at a time in ascending shard
+	// order — deadlock-free the same way AcquireAll's ascending node
+	// order is) to a two-phase scheme: every shard is requested in
+	// parallel and, when the full set cannot be assembled before the
+	// attempt times out, everything is handed back and the acquire
+	// retries after a jittered backoff. Two-phase trades the ordered
+	// walk's serial latency for retry work under contention; the bench
+	// measures both.
+	CrossShardTwoPhase bool
 	// Tick, when positive, drives time-based protocol machinery: every
 	// local node implementing alg.Ticker gets a Tick in its event loop
 	// at this period. Required for token leases (core Options.LeaseTTL —
@@ -91,10 +112,14 @@ type Config struct {
 // single-process configuration, this process's share of them in a
 // multi-process deployment.
 type Cluster struct {
-	cfg   Config
-	tr    transport.Transport
-	bs    transport.BatchSender // tr's batch face, nil when unsupported
-	loops []*loop               // indexed by node id; nil for nodes hosted elsewhere
+	cfg  Config
+	tr   transport.Transport
+	bs   transport.BatchSender // tr's batch face, nil when unsupported
+	shd  transport.Sharder     // tr's shard face; nil in the flat configuration
+	smap resource.ShardMap     // global↔(shard, local) resource mapping; 1 shard when flat
+	// loops[s][id] is shard s's event loop for node id; nil for nodes
+	// hosted elsewhere. The flat configuration is exactly one shard.
+	loops [][]*loop
 	start time.Time
 
 	sessSeq uint64 // session id allocator
@@ -121,6 +146,13 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 	}
 	if cfg.Nodes < 1 || cfg.Resources < 1 {
 		return fail("need ≥1 node and ≥1 resource, got %d/%d", cfg.Nodes, cfg.Resources)
+	}
+	g := cfg.Shards
+	if g <= 0 {
+		g = 1
+	}
+	if g > cfg.Resources {
+		return fail("%d shards over %d resources (every shard needs ≥1)", g, cfg.Resources)
 	}
 	if _, err := serve.ParsePolicy(string(cfg.Policy)); err != nil {
 		return fail("%v", err)
@@ -169,35 +201,74 @@ func New(cfg Config, factory alg.Factory) (*Cluster, error) {
 			wt.Tune(cfg.Wire)
 		}
 	}
-	nodes := factory(cfg.Nodes, cfg.Resources)
-	if len(nodes) != cfg.Nodes {
-		tr.Close()
-		return nil, fmt.Errorf("live: factory built %d nodes, want %d", len(nodes), cfg.Nodes)
+	smap := resource.NewShardMap(cfg.Resources, g)
+	var shd transport.Sharder
+	if g > 1 {
+		var ok bool
+		if shd, ok = tr.(transport.Sharder); !ok {
+			tr.Close()
+			return nil, fmt.Errorf("live: transport %T cannot carry %d resource shards", tr, g)
+		}
+		sizes := make([]int, g)
+		for s := range sizes {
+			sizes[s] = smap.Size(s)
+		}
+		shd.SetShards(sizes)
+	}
+	// One allocator fleet per shard, each over its shard's local
+	// universe. The flat cluster is the one-shard instance of the same
+	// construction: Size(0) == Resources, so the factory call is exactly
+	// the pre-shard one.
+	nodesByShard := make([][]alg.Node, g)
+	for s := 0; s < g; s++ {
+		nodesByShard[s] = factory(cfg.Nodes, smap.Size(s))
+		if len(nodesByShard[s]) != cfg.Nodes {
+			tr.Close()
+			return nil, fmt.Errorf("live: factory built %d nodes, want %d", len(nodesByShard[s]), cfg.Nodes)
+		}
 	}
 	c := &Cluster{
 		cfg:    cfg,
 		tr:     tr,
+		shd:    shd,
+		smap:   smap,
 		start:  time.Now(),
 		closed: make(chan struct{}),
 	}
 	c.bs, _ = tr.(transport.BatchSender)
-	c.loops = make([]*loop, cfg.Nodes)
-	for _, id := range local {
-		c.loops[id] = newLoop(c, network.NodeID(id), nodes[id])
+	c.loops = make([][]*loop, g)
+	for s := 0; s < g; s++ {
+		c.loops[s] = make([]*loop, cfg.Nodes)
+		for _, id := range local {
+			c.loops[s][id] = newLoop(c, network.NodeID(id), nodesByShard[s][id], s)
+		}
 	}
 	// Bind before attaching: an Attach may not send, but a peer process
 	// already running can — the transport buffers until Bind either way.
-	for _, id := range local {
-		l := c.loops[id]
-		tr.Bind(l.id, func(from network.NodeID, m network.Message) {
-			l.postEnv(envelope{from: from, msg: m})
-		})
+	// Shard 0 binds through the legacy face so the flat configuration
+	// never touches the shard path.
+	for s := 0; s < g; s++ {
+		for _, id := range local {
+			l := c.loops[s][id]
+			h := func(from network.NodeID, m network.Message) {
+				l.postEnv(envelope{from: from, msg: m})
+			}
+			if s == 0 {
+				tr.Bind(l.id, h)
+			} else {
+				shd.BindShard(s, l.id, h)
+			}
+		}
 	}
-	for _, id := range local {
-		nodes[id].Attach(&liveEnv{c: c, l: c.loops[id]})
+	for s := 0; s < g; s++ {
+		for _, id := range local {
+			nodesByShard[s][id].Attach(&liveEnv{c: c, l: c.loops[s][id]})
+		}
 	}
-	for _, id := range local {
-		go c.loops[id].run()
+	for s := 0; s < g; s++ {
+		for _, id := range local {
+			go c.loops[s][id].run()
+		}
 	}
 	if cfg.Tick > 0 {
 		c.tickWG.Add(1)
@@ -218,8 +289,10 @@ func (c *Cluster) runTicker(local []int) {
 		case <-c.closed:
 			return
 		case <-tick.C:
-			for _, id := range local {
-				c.loops[id].post(cmdTick{})
+			for _, shard := range c.loops {
+				for _, id := range local {
+					shard[id].post(cmdTick{})
+				}
 			}
 		}
 	}
@@ -233,16 +306,18 @@ func (c *Cluster) runTicker(local []int) {
 func (c *Cluster) Drain() bool {
 	ok := true
 	var dones []chan struct{}
-	for _, l := range c.loops {
-		if l == nil {
-			continue
+	for _, shard := range c.loops {
+		for _, l := range shard {
+			if l == nil {
+				continue
+			}
+			done := make(chan struct{})
+			if !l.post(cmdDrain{done: done}) {
+				ok = false
+				continue
+			}
+			dones = append(dones, done)
 		}
-		done := make(chan struct{})
-		if !l.post(cmdDrain{done: done}) {
-			ok = false
-			continue
-		}
-		dones = append(dones, done)
 	}
 	for _, done := range dones {
 		select {
@@ -260,9 +335,16 @@ func (c *Cluster) N() int { return c.cfg.Nodes }
 // M reports the number of resources.
 func (c *Cluster) M() int { return c.cfg.Resources }
 
+// Shards reports the number of resource shards (1 for a flat cluster).
+func (c *Cluster) Shards() int { return c.smap.Shards() }
+
+// ShardLayout returns the cluster's global↔(shard, local) resource
+// mapping — the one-shard identity mapping for a flat cluster.
+func (c *Cluster) ShardLayout() resource.ShardMap { return c.smap }
+
 // Local reports whether node id is hosted by this cluster instance.
 func (c *Cluster) Local(id int) bool {
-	return id >= 0 && id < c.cfg.Nodes && c.loops[id] != nil
+	return id >= 0 && id < c.cfg.Nodes && c.loops[0][id] != nil
 }
 
 // now is the cluster clock: wall time since start, in the same unit
@@ -278,15 +360,22 @@ func (c *Cluster) Stats() map[string]int64 {
 	return c.tr.Stats()
 }
 
-// Inspect runs fn against node id's protocol state inside that node's
-// event loop, so fn sees a quiesced snapshot without data races. It
-// reports false when the cluster is closed or the node is not local.
-// fn must not block on other cluster operations.
+// Inspect runs fn against node id's shard-0 protocol state inside that
+// node's event loop, so fn sees a quiesced snapshot without data races
+// (the whole protocol state of a flat cluster). It reports false when
+// the cluster is closed or the node is not local. fn must not block on
+// other cluster operations.
 func (c *Cluster) Inspect(id int, fn func(alg.Node)) bool {
-	if !c.Local(id) {
+	return c.InspectShard(0, id, fn)
+}
+
+// InspectShard is Inspect against one shard's allocator instance at
+// node id.
+func (c *Cluster) InspectShard(shard, id int, fn func(alg.Node)) bool {
+	if shard < 0 || shard >= len(c.loops) || !c.Local(id) {
 		return false
 	}
-	l := c.loops[id]
+	l := c.loops[shard][id]
 	done := make(chan struct{})
 	if !l.post(cmdInspect{fn: fn, done: done}) {
 		return false
@@ -300,23 +389,29 @@ func (c *Cluster) Inspect(id int, fn func(alg.Node)) bool {
 }
 
 // QueueLen reports how many admission requests are queued (not yet fed
-// into the protocol) at node id, for tests and load introspection. It
-// reports 0 for non-local nodes or a closed cluster.
+// into the protocol) at node id, summed over its shards, for tests and
+// load introspection. It reports 0 for non-local nodes or a closed
+// cluster.
 func (c *Cluster) QueueLen(id int) int {
 	if !c.Local(id) {
 		return 0
 	}
-	n := 0
-	done := make(chan struct{})
-	if !c.loops[id].post(cmdInspect{fn: func(alg.Node) { n = c.loops[id].sched.Len() }, done: done}) {
-		return 0
+	total := 0
+	for _, shard := range c.loops {
+		l := shard[id]
+		n := 0
+		done := make(chan struct{})
+		if !l.post(cmdInspect{fn: func(alg.Node) { n = l.sched.Len() }, done: done}) {
+			return total
+		}
+		select {
+		case <-done:
+			total += n
+		case <-c.closed:
+			return total
+		}
 	}
-	select {
-	case <-done:
-		return n
-	case <-c.closed:
-		return 0
-	}
+	return total
 }
 
 // Overloaded asks node id's Adaptive admission bound whether an
@@ -326,7 +421,17 @@ func (c *Cluster) QueueLen(id int) int {
 // admission fast path. Always false for fixed policies and non-local
 // nodes; the caller records an actual denial with NoteShed.
 func (c *Cluster) Overloaded(id, size int) bool {
-	return c.Local(id) && c.loops[id].sched.Overloaded(size)
+	if !c.Local(id) {
+		return false
+	}
+	// Any shard saturating is an overload: a cross-shard acquire cannot
+	// complete faster than its slowest shard.
+	for _, shard := range c.loops {
+		if shard[id].sched.Overloaded(size) {
+			return true
+		}
+	}
+	return false
 }
 
 // NoteShed records an overload denial against node id's load
@@ -334,17 +439,20 @@ func (c *Cluster) Overloaded(id, size int) bool {
 // from any goroutine; a no-op for fixed policies and non-local nodes.
 func (c *Cluster) NoteShed(id int) {
 	if c.Local(id) {
-		c.loops[id].sched.NoteShed()
+		for _, shard := range c.loops {
+			shard[id].sched.NoteShed()
+		}
 	}
 }
 
-// NodeLoad returns node id's admission-load snapshot (the zero Load
-// for fixed policies and non-local nodes). Safe from any goroutine.
+// NodeLoad returns node id's shard-0 admission-load snapshot (the
+// whole load of a flat cluster; the zero Load for fixed policies and
+// non-local nodes). Safe from any goroutine.
 func (c *Cluster) NodeLoad(id int) serve.Load {
 	if !c.Local(id) {
 		return serve.Load{}
 	}
-	return c.loops[id].sched.Load()
+	return c.loops[0][id].sched.Load()
 }
 
 // Close stops every local node loop and closes the transport. Every
@@ -360,9 +468,11 @@ func (c *Cluster) Close() {
 	}
 	close(c.closed)
 	c.tickWG.Wait()
-	for _, l := range c.loops {
-		if l != nil {
-			l.stop()
+	for _, shard := range c.loops {
+		for _, l := range shard {
+			if l != nil {
+				l.stop()
+			}
 		}
 	}
 	c.tr.Close()
@@ -382,9 +492,10 @@ func (c *Cluster) Close() {
 // (a waiter's done channel, a grant, the end of the batch), so no
 // message lingers while the loop parks.
 type loop struct {
-	c    *Cluster
-	id   network.NodeID
-	node alg.Node
+	c     *Cluster
+	id    network.NodeID
+	shard int
+	node  alg.Node
 
 	mb mailbox // envelopes and commands (unbounded, batch-drained)
 
@@ -510,10 +621,11 @@ type cmdDrain struct {
 	done chan struct{}
 }
 
-func newLoop(c *Cluster, id network.NodeID, node alg.Node) *loop {
+func newLoop(c *Cluster, id network.NodeID, node alg.Node, shard int) *loop {
 	l := &loop{
 		c:     c,
 		id:    id,
+		shard: shard,
 		node:  node,
 		sched: serve.NewScheduler(c.cfg.Policy, sim.Time(c.cfg.Aging)),
 	}
@@ -610,7 +722,7 @@ func (l *loop) run() {
 // being processed, straight to the transport otherwise.
 func (l *loop) send(to network.NodeID, m network.Message) {
 	if !l.inBatch {
-		l.c.tr.Send(l.id, to, m)
+		l.sendNow(to, m)
 		return
 	}
 	if l.perDest == nil {
@@ -634,7 +746,9 @@ func (l *loop) flushOutbox() {
 		msgs := l.perDest[to]
 		switch {
 		case len(msgs) == 1:
-			l.c.tr.Send(l.id, to, msgs[0])
+			l.sendNow(to, msgs[0])
+		case l.c.shd != nil:
+			l.c.shd.SendShardBatch(l.shard, l.id, to, msgs)
 		case l.c.bs != nil:
 			l.c.bs.SendBatch(l.id, to, msgs)
 		default:
@@ -650,6 +764,17 @@ func (l *loop) flushOutbox() {
 		l.perDest[to] = msgs[:0]
 	}
 	l.touched = l.touched[:0]
+}
+
+// sendNow hands one message to the fabric: through the shard face when
+// the cluster is sharded (shard 0 included — SendShard(0, ...) is
+// Send), the plain transport otherwise.
+func (l *loop) sendNow(to network.NodeID, m network.Message) {
+	if l.c.shd != nil {
+		l.c.shd.SendShard(l.shard, l.id, to, m)
+		return
+	}
+	l.c.tr.Send(l.id, to, m)
 }
 
 // maybeAdmit feeds the scheduler's next pick into the protocol when
@@ -727,7 +852,10 @@ type liveEnv struct {
 
 func (e *liveEnv) ID() network.NodeID { return e.l.id }
 func (e *liveEnv) N() int             { return e.c.cfg.Nodes }
-func (e *liveEnv) M() int             { return e.c.cfg.Resources }
+
+// M is the node's resource universe: its shard's local universe, which
+// is the whole global universe on a flat cluster.
+func (e *liveEnv) M() int { return e.c.smap.Size(e.l.shard) }
 
 func (e *liveEnv) Now() sim.Time { return e.c.now() }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mralloc/internal/resource"
 	"mralloc/internal/serve"
@@ -32,7 +34,6 @@ var ErrSessionBusy = errors.New("live: session already has an acquire in flight"
 // concurrency.
 type Session struct {
 	c    *Cluster
-	l    *loop
 	node int
 	id   uint64
 
@@ -57,7 +58,7 @@ func (c *Cluster) NewSession(node int) (*Session, error) {
 	c.sessSeq++
 	id := c.sessSeq
 	c.seqMu.Unlock()
-	return &Session{c: c, l: c.loops[node], node: node, id: id}, nil
+	return &Session{c: c, node: node, id: id}, nil
 }
 
 // ID reports the session's cluster-unique identifier.
@@ -79,6 +80,16 @@ func (s *Session) Close() { s.closed.Store(true) }
 // once; it is idempotent). Requests from all of a node's sessions
 // queue in the admission scheduler and enter the protocol one at a
 // time under the cluster's policy; aging guarantees no session starves.
+//
+// On a sharded cluster the set is split along shard boundaries and
+// each part is acquired from its shard's allocator. A set inside one
+// shard is a single protocol request, exactly like a flat acquire; a
+// set spanning shards composes them — shards taken one at a time in
+// ascending shard order (deadlock-free: every session walks shards in
+// the same order), or all at once with timeout-and-retry under
+// Config.CrossShardTwoPhase. The grant is all-or-nothing either way:
+// Acquire returns only when every part is held, and any failure hands
+// back whatever was assembled.
 //
 // If ctx ends first, the request is withdrawn — immediately when still
 // queued; by handing the grant straight back when the protocol has
@@ -118,45 +129,189 @@ func (s *Session) Acquire(ctx context.Context, opts serve.AcquireOpts) (func(), 
 		}
 	}
 
+	parts := s.c.smap.Split(rs)
+	var release func()
+	var err error
+	switch {
+	case len(parts) == 1:
+		// Whole set inside one shard (every flat acquire is this case):
+		// one protocol request, no composition.
+		release, err = s.acquireOne(ctx, parts[0].Shard, parts[0].Local, dl)
+	case s.c.cfg.CrossShardTwoPhase:
+		release, err = s.acquireTwoPhase(ctx, parts, dl)
+	default:
+		release, err = s.acquireOrdered(ctx, parts, dl)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.grants.Add(1)
+	return release, nil
+}
+
+// acquireOne runs one part's protocol request on its shard's loop and
+// waits for the grant — the flat Acquire path, parameterized by shard.
+func (s *Session) acquireOne(ctx context.Context, shard int, rs resource.Set, dl sim.Time) (func(), error) {
+	l := s.c.loops[shard][s.node]
+	t := s.submit(l, rs, dl)
+	if t == nil {
+		return nil, ErrClosed
+	}
+	select {
+	case <-t.granted:
+		return s.releaseFunc(l, t), nil
+	case err := <-t.aborted:
+		return nil, err
+	case <-ctx.Done():
+		s.withdraw(l, t)
+		return nil, ctx.Err()
+	}
+}
+
+// acquireOrdered assembles a cross-shard set one shard at a time in
+// ascending shard order (Split's order). Every session walks shards in
+// the same order, so no cycle of sessions can each hold a shard the
+// next one needs — the same argument that makes AcquireAll's ascending
+// node order deadlock-free. A failure hands back the prefix already
+// held, in reverse.
+func (s *Session) acquireOrdered(ctx context.Context, parts []resource.ShardPart, dl sim.Time) (func(), error) {
+	releases := make([]func(), 0, len(parts))
+	unwind := func() {
+		for i := len(releases) - 1; i >= 0; i-- {
+			releases[i]()
+		}
+	}
+	for _, p := range parts {
+		rel, err := s.acquireOne(ctx, p.Shard, p.Local, dl)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		releases = append(releases, rel)
+	}
+	return unwind, nil
+}
+
+// Two-phase attempt pacing: an attempt that cannot assemble the full
+// set within its window hands everything back and retries after a
+// jittered backoff, so two sessions holding complementary halves
+// cannot spin in lockstep forever.
+const (
+	twoPhaseBaseWait = 2 * time.Millisecond
+	twoPhaseMaxWait  = 100 * time.Millisecond
+)
+
+// acquireTwoPhase requests every part in parallel and keeps the set
+// only if all grants land before the attempt times out; otherwise it
+// releases what it got, backs off, and tries again. Higher concurrency
+// than the ordered walk when shards are uncontended, at the price of
+// retry work when they are not.
+func (s *Session) acquireTwoPhase(ctx context.Context, parts []resource.ShardPart, dl sim.Time) (func(), error) {
+	wait := twoPhaseBaseWait
+	for attempt := 0; ; attempt++ {
+		tickets := make([]*ticket, len(parts))
+		loops := make([]*loop, len(parts))
+		for i, p := range parts {
+			loops[i] = s.c.loops[p.Shard][s.node]
+			if tickets[i] = s.submit(loops[i], p.Local, dl); tickets[i] == nil {
+				for j := 0; j < i; j++ {
+					s.withdraw(loops[j], tickets[j])
+				}
+				return nil, ErrClosed
+			}
+		}
+		timer := time.NewTimer(wait + time.Duration(rand.Int63n(int64(wait))))
+		held := make([]bool, len(parts))
+		var permErr error
+		timedOut := false
+		for i, t := range tickets {
+			if permErr != nil || timedOut {
+				break
+			}
+			select {
+			case <-t.granted:
+				held[i] = true
+			case err := <-t.aborted:
+				permErr = err
+			case <-ctx.Done():
+				permErr = ctx.Err()
+			case <-timer.C:
+				timedOut = true
+			}
+		}
+		timer.Stop()
+		if permErr == nil && !timedOut {
+			rels := make([]func(), len(parts))
+			for i := range tickets {
+				rels[i] = s.releaseFunc(loops[i], tickets[i])
+			}
+			return func() {
+				for i := len(rels) - 1; i >= 0; i-- {
+					rels[i]()
+				}
+			}, nil
+		}
+		// Hand everything back: release what landed, withdraw the rest
+		// (a grant racing the withdrawal is released by the loop).
+		for i := range tickets {
+			if held[i] {
+				s.releaseFunc(loops[i], tickets[i])()
+			} else {
+				s.withdraw(loops[i], tickets[i])
+			}
+		}
+		if permErr != nil {
+			return nil, permErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.c.closed:
+			return nil, ErrClosed
+		case <-time.After(time.Duration(rand.Int63n(int64(wait)))):
+		}
+		if wait *= 2; wait > twoPhaseMaxWait {
+			wait = twoPhaseMaxWait
+		}
+	}
+}
+
+// submit builds and enqueues a ticket on one shard loop, returning nil
+// once the cluster is closing.
+func (s *Session) submit(l *loop, rs resource.Set, dl sim.Time) *ticket {
 	t := &ticket{
 		rs:      rs,
 		granted: make(chan struct{}),
 		aborted: make(chan error, 1),
 	}
 	t.item = serve.Item{Session: s.id, Size: rs.Len(), Deadline: dl, V: t}
-
-	if !s.l.post(cmdSubmit{t: t}) {
-		return nil, ErrClosed
+	if !l.post(cmdSubmit{t: t}) {
+		return nil
 	}
-	select {
-	case <-t.granted:
-		s.grants.Add(1)
-		return s.releaseFunc(t), nil
-	case err := <-t.aborted:
-		return nil, err
-	case <-ctx.Done():
-		// Withdraw through the loop; it always answers (or the cluster
-		// is closing, which fails every ticket anyway).
-		done := make(chan struct{})
-		if s.l.post(cmdCancel{t: t, done: done}) {
-			select {
-			case <-done:
-			case <-s.c.closed:
-			}
+	return t
+}
+
+// withdraw cancels a submitted ticket through its loop; the loop always
+// answers (or the cluster is closing, which fails every ticket anyway).
+func (s *Session) withdraw(l *loop, t *ticket) {
+	done := make(chan struct{})
+	if l.post(cmdCancel{t: t, done: done}) {
+		select {
+		case <-done:
+		case <-s.c.closed:
 		}
-		return nil, ctx.Err()
 	}
 }
 
 // releaseFunc builds the exactly-once release closure for a granted
 // ticket. On a closing cluster the release degrades to a no-op — the
 // loop's shutdown path owns the unwind.
-func (s *Session) releaseFunc(t *ticket) func() {
+func (s *Session) releaseFunc(l *loop, t *ticket) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			done := make(chan struct{})
-			if !s.l.post(cmdRelease{t: t, done: done}) {
+			if !l.post(cmdRelease{t: t, done: done}) {
 				return
 			}
 			select {

@@ -64,6 +64,23 @@ func memFabric() fabric {
 	}}
 }
 
+// shardedMemFabric splits the universe into g shards on the in-process
+// fabric; the battery's random global sets then exercise cross-shard
+// composition (ordered or two-phase) alongside single-shard requests.
+func shardedMemFabric(g int, twoPhase bool) fabric {
+	name := fmt.Sprintf("mem-sharded-g%d", g)
+	if twoPhase {
+		name += "-2p"
+	}
+	return fabric{name: name, buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
+		c, err := New(Config{Nodes: n, Resources: m, Policy: p, Aging: aging, Shards: g, CrossShardTwoPhase: twoPhase}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &system{acquire: c.Acquire, session: c.NewSession, stats: c.Stats, close: c.Close}
+	}}
+}
+
 // tcpFabric hosts every node in its own cluster instance over TCP
 // loopback — the maximally distributed deployment, each endpoint a
 // stand-in for one OS process, every message through the wire codec.
@@ -101,9 +118,20 @@ func tcpHeteroFabric() fabric {
 	})
 }
 
+// tcpShardedFabric is the per-node TCP topology with the universe
+// split into g shards on every endpoint: shard traffic rides tagged
+// frames and per-shard codec contexts over the same connections.
+func tcpShardedFabric(g int) fabric {
+	return tcpShardedWireFabric(fmt.Sprintf("tcp-sharded-g%d", g), g, nil)
+}
+
 // tcpWireFabric builds the per-node TCP topology with wireFor(i)
 // tuning node i's endpoint (nil leaves every endpoint at defaults).
 func tcpWireFabric(name string, wireFor func(i int) transport.WireOptions) fabric {
+	return tcpShardedWireFabric(name, 0, wireFor)
+}
+
+func tcpShardedWireFabric(name string, shards int, wireFor func(i int) transport.WireOptions) fabric {
 	return fabric{name: name, buildPolicy: func(t *testing.T, n, m int, f alg.Factory, p serve.Policy, aging time.Duration) *system {
 		trs := make([]*transport.TCP, n)
 		addrs := make([]string, n)
@@ -124,7 +152,7 @@ func tcpWireFabric(name string, wireFor func(i int) transport.WireOptions) fabri
 			if wireFor != nil {
 				wire = wireFor(i)
 			}
-			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}, Policy: p, Aging: aging, Wire: wire}, f)
+			c, err := New(Config{Nodes: n, Resources: m, Transport: trs[i], Local: []int{i}, Policy: p, Aging: aging, Wire: wire, Shards: shards}, f)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -161,8 +189,12 @@ func tcpWireFabric(name string, wireFor func(i int) transport.WireOptions) fabri
 // the simulations — across all four live-capable algorithms, over both
 // the in-process and the TCP-loopback fabric.
 func TestVerifiedStress(t *testing.T) {
+	fabrics := []fabric{
+		memFabric(), tcpFabric(), tcpDeltaFabric(), tcpHeteroFabric(),
+		shardedMemFabric(4, false), shardedMemFabric(4, true), tcpShardedFabric(4),
+	}
 	for algName, factory := range liveAlgorithms() {
-		for _, fb := range []fabric{memFabric(), tcpFabric(), tcpDeltaFabric(), tcpHeteroFabric()} {
+		for _, fb := range fabrics {
 			factory, fb := factory, fb
 			t.Run(algName+"/"+fb.name, func(t *testing.T) {
 				t.Parallel()

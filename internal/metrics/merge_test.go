@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMergeExactMoments pins that count, mean, standard deviation, min
+// and max of a merged accumulator match a single flat accumulator that
+// saw every sample, whatever the split.
+func TestMergeExactMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Exp(r.NormFloat64()) // skewed, like latencies
+	}
+	for _, parts := range []int{2, 3, 16} {
+		var flat Accum
+		shards := make([]Accum, parts)
+		for i, x := range xs {
+			flat.Add(x)
+			shards[i%parts].Add(x)
+		}
+		var merged Accum
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		fs, ms := flat.Summary(), merged.Summary()
+		if ms.Count != fs.Count {
+			t.Fatalf("parts=%d: count %d want %d", parts, ms.Count, fs.Count)
+		}
+		if ms.Min != fs.Min || ms.Max != fs.Max {
+			t.Fatalf("parts=%d: extrema %v/%v want %v/%v", parts, ms.Min, ms.Max, fs.Min, fs.Max)
+		}
+		if relErr(ms.Mean, fs.Mean) > 1e-9 || relErr(ms.StdDev, fs.StdDev) > 1e-9 {
+			t.Fatalf("parts=%d: mean/stddev %v/%v want %v/%v", parts, ms.Mean, ms.StdDev, fs.Mean, fs.StdDev)
+		}
+	}
+}
+
+// TestMergeSmallExact pins the exact path: while the total stays at
+// five or fewer samples the merged quantiles are order statistics, so
+// they must equal the flat accumulator's bit for bit.
+func TestMergeSmallExact(t *testing.T) {
+	var a, b, flat Accum
+	for _, x := range []float64{3, 1, 9} {
+		a.Add(x)
+		flat.Add(x)
+	}
+	for _, x := range []float64{7, 2} {
+		b.Add(x)
+		flat.Add(x)
+	}
+	a.Merge(&b)
+	as, fs := a.Summary(), flat.Summary()
+	if as != fs {
+		t.Fatalf("merged %+v want %+v", as, fs)
+	}
+	// Merging into an empty accumulator adopts the other wholesale.
+	var empty Accum
+	empty.Merge(&flat)
+	if empty.Summary() != fs {
+		t.Fatalf("empty.Merge: %+v want %+v", empty.Summary(), fs)
+	}
+	// Merging an empty accumulator is a no-op.
+	before := flat.Summary()
+	flat.Merge(&Accum{})
+	if flat.Summary() != before {
+		t.Fatalf("merge of empty changed summary")
+	}
+}
+
+// TestMergeQuantileFidelity checks that per-shard accumulators merged
+// with Merge estimate p50/p95/p99 about as well as one flat P²
+// accumulator does: both must land within a few percent of the true
+// order statistic of the pooled samples.
+func TestMergeQuantileFidelity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Exp(0.8 * r.NormFloat64())
+	}
+	for _, parts := range []int{4, 16} {
+		var flat Accum
+		shards := make([]Accum, parts)
+		for i, x := range xs {
+			flat.Add(x)
+			shards[i%parts].Add(x)
+		}
+		var merged Accum
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		fs, ms := flat.Summary(), merged.Summary()
+		for _, q := range []struct {
+			name       string
+			p          float64
+			flat, merg float64
+		}{
+			{"p50", 0.50, fs.P50, ms.P50},
+			{"p95", 0.95, fs.P95, ms.P95},
+			{"p99", 0.99, fs.P99, ms.P99},
+		} {
+			exact := sorted[int(q.p*float64(n))-1]
+			if e := relErr(q.flat, exact); e > 0.05 {
+				t.Fatalf("parts=%d %s: flat P² off by %.1f%% (%.4f vs %.4f)", parts, q.name, 100*e, q.flat, exact)
+			}
+			if e := relErr(q.merg, exact); e > 0.08 {
+				t.Fatalf("parts=%d %s: merged off by %.1f%% (%.4f vs %.4f)", parts, q.name, 100*e, q.merg, exact)
+			}
+		}
+	}
+}
+
+// TestMergeHeterogeneousShards merges two accumulators over visibly
+// different distributions (a fast shard and a 10× slower one). The
+// pooled quantiles sit where the mixture puts them — dominated by the
+// slow shard's tail — which naive per-shard quantile averaging would
+// miss entirely.
+func TestMergeHeterogeneousShards(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const n = 8000
+	xs := make([]float64, 0, 2*n)
+	var fast, slow Accum
+	for i := 0; i < n; i++ {
+		f := math.Exp(0.3 * r.NormFloat64())
+		s := 10 * math.Exp(0.3*r.NormFloat64())
+		fast.Add(f)
+		slow.Add(s)
+		xs = append(xs, f, s)
+	}
+	fast.Merge(&slow)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	ms := fast.Summary()
+	for _, q := range []struct {
+		name string
+		p    float64
+		got  float64
+	}{
+		{"p50", 0.50, ms.P50},
+		{"p95", 0.95, ms.P95},
+		{"p99", 0.99, ms.P99},
+	} {
+		exact := sorted[int(q.p*float64(len(sorted)))-1]
+		if e := relErr(q.got, exact); e > 0.10 {
+			t.Fatalf("%s: merged off by %.1f%% (%.4f vs %.4f)", q.name, 100*e, q.got, exact)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

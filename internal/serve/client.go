@@ -119,6 +119,26 @@ func (c *Client) Shape(ctx context.Context) (nodes, resources int, err error) {
 	}
 }
 
+// Shards reports the number of resource shards the daemon announced
+// (1 for a flat cluster or a pre-shard daemon), blocking like Shape.
+// Requests are always phrased over the global universe either way; the
+// count describes how the daemon parallelizes them.
+func (c *Client) Shards(ctx context.Context) (int, error) {
+	select {
+	case <-c.helloed:
+		if c.hello.Shards == 0 {
+			return 1, nil
+		}
+		return c.hello.Shards, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-c.closed:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return 0, c.err
+	}
+}
+
 // Close drops the connection. The daemon withdraws every pending
 // request and releases every grant this client still held.
 func (c *Client) Close() error {

@@ -40,6 +40,14 @@ type ServerConfig struct {
 	// Nodes and Resources are the cluster shape, used to validate
 	// inbound frames and client requests.
 	Nodes, Resources int
+	// Shards is the number of resource shards the backing cluster runs
+	// (live.Config.Shards), announced in the hello reply so a client
+	// can see the namespace layout. 0 or 1 is the flat cluster and
+	// announces the pre-shard hello byte-for-byte. Client requests are
+	// always phrased over the global universe — the backend splits them
+	// — so the count is informational to clients, but one that claims a
+	// different count in its own hello is rejected.
+	Shards int
 	// Local lists the node ids this process hosts — the candidates
 	// for requests that do not target a node.
 	Local []int
@@ -325,6 +333,9 @@ func (cn *conn) readLoop() {
 				Resources: cn.s.cfg.Resources,
 				Features:  wire.FeatWritev,
 			}
+			if cn.s.cfg.Shards > 1 {
+				mine.Shards = cn.s.cfg.Shards
+			}
 			reply := wire.AppendControl(nil, wire.CtrlHello, wire.AppendHello(nil, mine))
 			if _, err := cn.c.Write(reply); err != nil {
 				return fmt.Errorf("hello reply: %w", err)
@@ -375,6 +386,15 @@ func (s *Server) checkClient(peer wire.Hello) error {
 	}
 	if peer.Resources != 0 && peer.Resources != s.cfg.Resources {
 		return fmt.Errorf("resource universe of %d, this daemon serves %d", peer.Resources, s.cfg.Resources)
+	}
+	if peer.Shards != 0 {
+		shards := s.cfg.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		if peer.Shards != shards {
+			return fmt.Errorf("%d resource shards, this daemon serves %d", peer.Shards, shards)
+		}
 	}
 	return nil
 }

@@ -33,11 +33,17 @@ type Mem struct {
 	closeMu sync.Mutex
 	closed  chan struct{}
 
-	// links maps sender*n+destination to that link's delay queue
-	// (latency mode only, created lazily).
+	// links maps (shard*n+sender)*n+destination to that link's delay
+	// queue (latency mode only, created lazily).
 	linkMu sync.Mutex
 	links  map[int]chan linkItem
 	wg     sync.WaitGroup
+
+	// shardBinders holds one binder per shard beyond the first
+	// (SetShards); shard 0 is the legacy binder. Written once before
+	// any sharded traffic, read-only after.
+	shardMu      sync.RWMutex
+	shardBinders []*binder
 }
 
 // linkItem is one delay-queue entry: a single message (msgs nil) or a
@@ -126,10 +132,102 @@ func (t *Mem) SendBatch(from, to network.NodeID, msgs []network.Message) {
 	}
 }
 
+// SetShards implements Sharder. The in-process fabric only needs the
+// shard count — there is no codec to validate per-shard universes
+// against — but takes the sizes for interface uniformity.
+func (t *Mem) SetShards(sizes []int) {
+	if len(sizes) == 0 {
+		return
+	}
+	t.shardMu.Lock()
+	defer t.shardMu.Unlock()
+	t.shardBinders = make([]*binder, len(sizes))
+	t.shardBinders[0] = t.binder
+	for s := 1; s < len(sizes); s++ {
+		t.shardBinders[s] = newBinder(t.n)
+	}
+}
+
+// shardBinder resolves the binder of one shard, panicking on a shard
+// the endpoint was never configured for — that is a wiring bug, not a
+// runtime condition.
+func (t *Mem) shardBinder(shard int) *binder {
+	t.shardMu.RLock()
+	defer t.shardMu.RUnlock()
+	if shard < 0 || shard >= len(t.shardBinders) {
+		panic(fmt.Sprintf("transport: shard %d on an endpoint with %d shards", shard, len(t.shardBinders)))
+	}
+	return t.shardBinders[shard]
+}
+
+// BindShard implements Sharder.
+func (t *Mem) BindShard(shard int, id network.NodeID, h Handler) {
+	t.shardBinder(shard).bind(id, h)
+}
+
+// SendShard implements Sharder: Send within one shard's namespace.
+// Each (shard, sender, destination) triple is its own FIFO delay link,
+// so shard traffic pipelines instead of queueing behind other shards'
+// latency.
+func (t *Mem) SendShard(shard int, from, to network.NodeID, m network.Message) {
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	b := t.shardBinder(shard)
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	t.stats.count(m.Kind())
+	if t.latency <= 0 {
+		b.deliver(to, from, m)
+		return
+	}
+	select {
+	case t.shardLink(shard, from, to, b) <- linkItem{from: from, m: m}:
+	case <-t.closed:
+	}
+}
+
+// SendShardBatch implements Sharder.
+func (t *Mem) SendShardBatch(shard int, from, to network.NodeID, msgs []network.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	b := t.shardBinder(shard)
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	for _, m := range msgs {
+		t.stats.count(m.Kind())
+	}
+	if t.latency <= 0 {
+		b.deliverBatch(to, from, msgs)
+		return
+	}
+	cp := append([]network.Message(nil), msgs...)
+	select {
+	case t.shardLink(shard, from, to, b) <- linkItem{from: from, msgs: cp}:
+	case <-t.closed:
+	}
+}
+
 // link returns the delay queue of one ordered pair, starting its
 // forwarding goroutine on first use.
 func (t *Mem) link(from, to network.NodeID) chan linkItem {
-	key := int(from)*t.n + int(to)
+	return t.shardLink(0, from, to, t.binder)
+}
+
+// shardLink is link keyed by (shard, sender, destination), delivering
+// into the shard's binder.
+func (t *Mem) shardLink(shard int, from, to network.NodeID, b *binder) chan linkItem {
+	key := (shard*t.n+int(from))*t.n + int(to)
 	t.linkMu.Lock()
 	defer t.linkMu.Unlock()
 	if t.links == nil {
@@ -147,9 +245,9 @@ func (t *Mem) link(from, to network.NodeID) chan linkItem {
 				case p := <-ch:
 					time.Sleep(t.latency)
 					if p.msgs != nil {
-						t.binder.deliverBatch(to, p.from, p.msgs)
+						b.deliverBatch(to, p.from, p.msgs)
 					} else {
-						t.binder.deliver(to, p.from, p.m)
+						b.deliver(to, p.from, p.m)
 					}
 				case <-t.closed:
 					return

@@ -116,9 +116,15 @@ type TCP struct {
 	peers   []string // per node; nil until Connect
 
 	// resources, when set via SetShape, tightens inbound frame
-	// validation to the cluster's resource universe.
-	shapeMu   sync.RWMutex
-	resources int
+	// validation to the cluster's resource universe. shardSizes, when
+	// set via SetShards, declares the per-shard universes: inbound
+	// shard-s frames validate against shardSizes[s], the hello
+	// announces len(shardSizes), and shardBinders[s] routes shard-s
+	// deliveries (shard 0 is the legacy binder).
+	shapeMu      sync.RWMutex
+	resources    int
+	shardSizes   []int
+	shardBinders []*binder
 
 	connMu sync.Mutex
 	conns  map[string]*outConn
@@ -140,6 +146,12 @@ type outConn struct {
 	co     *wire.Coalescer
 	strm   *wire.Stream // egress codec context; nil unless delta is on
 	broken atomic.Bool  // write failed; next Send to this peer redials
+	// strms are the per-shard egress codec contexts of sharded sends
+	// (lazily created; shard 0 aliases strm). Delta caches are keyed by
+	// resource id, and shard-local ids collide across shards — each
+	// shard therefore gets its own Stream per connection direction.
+	strmMu sync.Mutex
+	strms  []*wire.Stream
 	// negotiated records a completed hello exchange and the peer's
 	// hello; both are set before the connection is registered and
 	// read-only after, so no lock guards them.
@@ -219,6 +231,36 @@ func (t *TCP) SetShape(nodes, resources int) {
 	t.shapeMu.Unlock()
 }
 
+// SetShards implements Sharder: declares the per-shard resource
+// universes (len(sizes) = G, sizes[s] = shard s's local universe).
+// Must run before the first Bind/Send — connections negotiated earlier
+// announced a different shard count. Announcing shards arms shard
+// validation on the hello: peers claiming a different non-zero shard
+// count are rejected, and a legacy peer (no shards field) interops
+// only with a single-shard configuration.
+func (t *TCP) SetShards(sizes []int) {
+	if len(sizes) == 0 {
+		return
+	}
+	binders := make([]*binder, len(sizes))
+	binders[0] = t.binder
+	for s := 1; s < len(sizes); s++ {
+		binders[s] = newBinder(t.n)
+	}
+	t.shapeMu.Lock()
+	t.shardSizes = append([]int(nil), sizes...)
+	t.shardBinders = binders
+	t.shapeMu.Unlock()
+}
+
+// shardConfig snapshots the sharding configuration (nil sizes =
+// unsharded endpoint).
+func (t *TCP) shardConfig() (sizes []int, binders []*binder) {
+	t.shapeMu.RLock()
+	defer t.shapeMu.RUnlock()
+	return t.shardSizes, t.shardBinders
+}
+
 // SetBatching toggles egress coalescing (on by default). Turning it
 // off pins every flush to a single frame — the pre-batching wire
 // behavior — so benchmarks can measure the batching win on identical
@@ -246,6 +288,7 @@ func (t *TCP) Tune(o WireOptions) {
 func (t *TCP) localHello() wire.Hello {
 	t.shapeMu.RLock()
 	res := t.resources
+	shards := len(t.shardSizes)
 	t.shapeMu.RUnlock()
 	var feat uint64
 	if t.delta.Load() {
@@ -266,6 +309,7 @@ func (t *TCP) localHello() wire.Hello {
 		Resources: res,
 		Features:  feat,
 		Window:    resolveWindow(win),
+		Shards:    shards,
 	}
 }
 
@@ -297,9 +341,24 @@ func (t *TCP) checkPeer(peer wire.Hello) error {
 	}
 	t.shapeMu.RLock()
 	res := t.resources
+	shards := len(t.shardSizes)
 	t.shapeMu.RUnlock()
 	if peer.Resources != 0 && res != 0 && peer.Resources != res {
 		return fmt.Errorf("resource universe of %d, this endpoint %d", peer.Resources, res)
+	}
+	// Shard counts must agree once this endpoint is shard-configured. A
+	// hello without the field (Shards 0 — a legacy or flat build) means
+	// the flat single-universe protocol, interoperable with exactly one
+	// shard; an endpoint not yet shard-configured leaves the claim
+	// unchecked, like an unknown resource universe.
+	if shards > 0 {
+		peerShards := peer.Shards
+		if peerShards == 0 {
+			peerShards = 1
+		}
+		if peerShards != shards {
+			return fmt.Errorf("%d resource shards, this endpoint %d", peerShards, shards)
+		}
 	}
 	return nil
 }
@@ -323,6 +382,140 @@ func (t *TCP) Bind(id network.NodeID, h Handler) {
 		panic(fmt.Sprintf("transport: binding node %d not hosted by this endpoint", id))
 	}
 	t.binder.bind(id, h)
+}
+
+// BindShard implements Sharder. Shard 0 is the legacy binder — the
+// same handler slot Bind installs — so untagged frames from flat peers
+// and shard-0 traffic are one namespace.
+func (t *TCP) BindShard(shard int, id network.NodeID, h Handler) {
+	if !t.local[id] {
+		panic(fmt.Sprintf("transport: binding node %d not hosted by this endpoint", id))
+	}
+	t.shardBinderFor(shard).bind(id, h)
+}
+
+// shardBinderFor resolves a shard's delivery binder, panicking on a
+// shard the endpoint was never configured for — a wiring bug, not a
+// runtime condition.
+func (t *TCP) shardBinderFor(shard int) *binder {
+	if shard == 0 {
+		return t.binder
+	}
+	_, binders := t.shardConfig()
+	if shard < 0 || shard >= len(binders) {
+		panic(fmt.Sprintf("transport: shard %d on an endpoint with %d shards", shard, len(binders)))
+	}
+	return binders[shard]
+}
+
+// shardStream resolves the egress codec context of one shard on this
+// connection. A lazily created stream inherits the connection stream's
+// delta flag — the control is announced once per connection, and the
+// per-shard stream only scopes the shadow caches, whose resource-id
+// keys collide across shards.
+func (oc *outConn) shardStream(shard int) *wire.Stream {
+	if shard == 0 || oc.strm == nil {
+		return oc.strm
+	}
+	oc.strmMu.Lock()
+	defer oc.strmMu.Unlock()
+	for len(oc.strms) <= shard {
+		oc.strms = append(oc.strms, nil)
+	}
+	if oc.strms[shard] == nil {
+		s := wire.NewStream()
+		if oc.strm.HasFlag(wire.CtrlTokenDelta) {
+			s.SetFlag(wire.CtrlTokenDelta)
+		}
+		oc.strms[shard] = s
+	}
+	return oc.strms[shard]
+}
+
+// SendShard implements Sharder: Send within one shard's namespace.
+// Shard 0 is exactly Send — untagged legacy frames; shards above ride
+// a shard tag ahead of the unchanged frame header.
+func (t *TCP) SendShard(shard int, from, to network.NodeID, m network.Message) {
+	if shard == 0 {
+		t.Send(from, to, m)
+		return
+	}
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	b := t.shardBinderFor(shard)
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	t.stats.count(m.Kind())
+	if t.local[to] {
+		b.deliver(to, from, m)
+		return
+	}
+	oc := t.connFor(to)
+	if oc == nil {
+		return
+	}
+	buf := wire.GetFrame(256)[:wire.FrameDataOff]
+	buf = wire.AppendShardTag(buf, shard)
+	buf = binary.AppendVarint(buf, int64(from))
+	buf = binary.AppendVarint(buf, int64(to))
+	frame, err := wire.AppendStream(buf, m, oc.shardStream(shard))
+	if err != nil {
+		wire.ReleaseFrame(frame)
+		t.fail(err)
+		return
+	}
+	oc.co.AppendOwned(frame, wire.FinishFrame(frame))
+}
+
+// SendShardBatch implements Sharder.
+func (t *TCP) SendShardBatch(shard int, from, to network.NodeID, msgs []network.Message) {
+	if shard == 0 {
+		t.SendBatch(from, to, msgs)
+		return
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	b := t.shardBinderFor(shard)
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	for _, m := range msgs {
+		t.stats.count(m.Kind())
+	}
+	if t.local[to] {
+		b.deliverBatch(to, from, msgs)
+		return
+	}
+	oc := t.connFor(to)
+	if oc == nil {
+		return
+	}
+	strm := oc.shardStream(shard)
+	for _, m := range msgs {
+		buf := wire.GetFrame(256)[:wire.FrameDataOff]
+		buf = wire.AppendShardTag(buf, shard)
+		buf = binary.AppendVarint(buf, int64(from))
+		buf = binary.AppendVarint(buf, int64(to))
+		frame, err := wire.AppendStream(buf, m, strm)
+		if err != nil {
+			wire.ReleaseFrame(frame)
+			t.fail(err)
+			return
+		}
+		if !oc.co.AppendOwned(frame, wire.FinishFrame(frame)) {
+			return
+		}
+	}
 }
 
 // Send implements Transport.
@@ -770,8 +963,28 @@ func (t *TCP) serve(c net.Conn) {
 	fr := wire.NewFrameReader(c, maxFrame)
 	// The ingress codec context: stream controls the peer announces
 	// (delta-encoded token state) flip flags here, and stateful codecs
-	// keep their per-connection caches in it.
+	// keep their per-connection caches in it. Sharded frames get one
+	// context per shard (delta caches key by shard-local resource id,
+	// which collides across shards); shard 0 aliases the legacy one.
 	strm := wire.NewStream()
+	var shardStrms []*wire.Stream
+	deltaOn := false
+	ingressStream := func(shard int) *wire.Stream {
+		if shard == 0 {
+			return strm
+		}
+		for len(shardStrms) <= shard {
+			shardStrms = append(shardStrms, nil)
+		}
+		if shardStrms[shard] == nil {
+			s := wire.NewStream()
+			if deltaOn {
+				s.SetFlag(wire.CtrlTokenDelta)
+			}
+			shardStrms[shard] = s
+		}
+		return shardStrms[shard]
+	}
 	// Negotiation state. The hello reply and subsequent credits are the
 	// only bytes this side ever writes, and both happen strictly after
 	// a valid dialer hello arrives — a legacy dialer that never sends
@@ -787,6 +1000,12 @@ func (t *TCP) serve(c net.Conn) {
 		switch code {
 		case wire.CtrlTokenDelta:
 			strm.SetFlag(code)
+			deltaOn = true
+			for _, s := range shardStrms {
+				if s != nil {
+					s.SetFlag(code)
+				}
+			}
 			return nil
 		case wire.CtrlHello:
 			if frames > 0 || helloed {
@@ -839,23 +1058,38 @@ func (t *TCP) serve(c net.Conn) {
 			}
 			credited += delta
 		}
+		sizes, binders := t.shardConfig()
 		d := wire.NewDecFor(frame, t.n, resources)
+		shard := d.ShardTag()
 		from := d.Site()
 		to := d.Site()
 		if d.Err() != nil {
 			t.connErr(c, d.Err())
 			return
 		}
+		// A shard-configured endpoint validates every frame against its
+		// shard's local universe (shard 0 included — its universe is
+		// sizes[0], not the announced global M); a tagged frame on an
+		// unsharded endpoint is a peer speaking a protocol this side was
+		// not configured for.
+		deliverTo, decRes := t.binder, resources
+		if shard > 0 || len(sizes) > 0 {
+			if shard >= len(sizes) {
+				t.connErr(c, fmt.Errorf("frame for shard %d, endpoint has %d shards", shard, len(sizes)))
+				return
+			}
+			deliverTo, decRes = binders[shard], sizes[shard]
+		}
 		if !t.local[to] {
 			t.connErr(c, fmt.Errorf("frame for node %d, not hosted here", to))
 			return
 		}
-		m, err := wire.DecodeStream(d.Rest(), t.n, resources, strm)
+		m, err := wire.DecodeStream(d.Rest(), t.n, decRes, ingressStream(shard))
 		if err != nil {
 			t.connErr(c, err)
 			return
 		}
-		t.binder.deliver(to, from, m)
+		deliverTo.deliver(to, from, m)
 	}
 }
 

@@ -126,6 +126,30 @@ type BatchSender interface {
 	SendBatch(from, to network.NodeID, msgs []network.Message)
 }
 
+// Sharder is implemented by transports that can route the traffic of
+// G independent resource shards over one fabric. Each shard is its own
+// token universe with its own allocator instances; shard-s traffic
+// obeys the same reliability/FIFO/no-duplication guarantees as the
+// flat transport, per (shard, sender, destination) — no ordering is
+// promised across shards, which is exactly what lets them proceed in
+// parallel.
+//
+// Shard 0 is the legacy namespace: BindShard(0, ...) and SendShard(0,
+// ...) are Bind and Send — on a socket fabric, shard-0 frames are
+// byte-for-byte the flat single-universe encoding, and shards s > 0
+// ride a shard tag ahead of the frame header (wire.AppendShardTag).
+//
+// SetShards must be called before the first BindShard/SendShard, with
+// the local resource-universe size of every shard; a socket fabric
+// validates inbound shard-s frames against sizes[s] and announces
+// len(sizes) in its hello.
+type Sharder interface {
+	SetShards(sizes []int)
+	BindShard(shard int, id network.NodeID, h Handler)
+	SendShard(shard int, from, to network.NodeID, m network.Message)
+	SendShardBatch(shard int, from, to network.NodeID, msgs []network.Message)
+}
+
 // kindStats is the shared per-kind message counter.
 type kindStats struct {
 	mu sync.Mutex

@@ -63,6 +63,13 @@ type Hello struct {
 	// back with CtrlWindow updates. Zero disables crediting (the sender
 	// promises to drain unboundedly).
 	Window uint64
+	// Shards is the sender's resource-shard count (appended field —
+	// absent in hellos from older builds, which ParseHello reports as
+	// zero). Zero means unannounced and is interoperable with exactly
+	// one shard: the flat single-universe protocol, whose frames carry
+	// no shard tags. Mismatching non-zero values are rejected like a
+	// shape mismatch.
+	Shards int
 }
 
 // Intersect reports the feature set two hellos agree on.
@@ -73,20 +80,23 @@ func (h Hello) Intersect(o Hello) uint64 { return h.Features & o.Features }
 const maxHelloShape = 1 << 24
 
 // AppendHello appends h's payload encoding (version, nodes, resources,
-// features, window — all uvarints) onto dst. Wrap it in a control with
-// AppendControl(dst, CtrlHello, payload).
+// features, window, shards — all uvarints) onto dst. Wrap it in a
+// control with AppendControl(dst, CtrlHello, payload).
 func AppendHello(dst []byte, h Hello) []byte {
 	dst = binary.AppendUvarint(dst, h.Version)
 	dst = binary.AppendUvarint(dst, uint64(h.Nodes))
 	dst = binary.AppendUvarint(dst, uint64(h.Resources))
 	dst = binary.AppendUvarint(dst, h.Features)
 	dst = binary.AppendUvarint(dst, h.Window)
+	dst = binary.AppendUvarint(dst, uint64(h.Shards))
 	return dst
 }
 
 // ParseHello decodes a CtrlHello payload. Trailing bytes are ignored —
 // future versions may append fields — but a truncated or absurd hello
-// is an error.
+// is an error. The shards field is itself such an appended field:
+// hellos from builds predating it simply end after window, which
+// parses as Shards zero.
 func ParseHello(payload []byte) (Hello, error) {
 	var h Hello
 	fields := [5]*uint64{&h.Version, nil, nil, &h.Features, &h.Window}
@@ -105,6 +115,16 @@ func ParseHello(payload []byte) (Hello, error) {
 		return Hello{}, fmt.Errorf("wire: hello claims absurd shape %d/%d", nodes, resources)
 	}
 	h.Nodes, h.Resources = int(nodes), int(resources)
+	if len(rest) > 0 {
+		shards, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Hello{}, fmt.Errorf("wire: hello truncated at shards field")
+		}
+		if shards > MaxShards {
+			return Hello{}, fmt.Errorf("wire: hello claims absurd shard count %d", shards)
+		}
+		h.Shards = int(shards)
+	}
 	return h, nil
 }
 

@@ -1,0 +1,52 @@
+package wire
+
+import "encoding/binary"
+
+// Shard frame tagging. A legacy frame body opens with varint(from) —
+// and a frame's source is always a real site, never network.None, so
+// the first varint of a legacy frame is never negative. That makes
+// negative values a free escape code: a frame belonging to shard s > 0
+// opens with varint(-1-s) ahead of the unchanged legacy header, and
+// shard-0 frames carry no tag at all. A single-shard (or pre-shard)
+// connection therefore stays byte-for-byte the legacy stream, and a
+// legacy receiver that is handed a tagged frame fails the site
+// validation loudly instead of misrouting it.
+
+// MaxShards bounds the shard count a hello or a frame tag may claim,
+// so a hostile peer cannot demand absurd per-shard state.
+const MaxShards = 1 << 16
+
+// AppendShardTag appends the shard tag opening a sharded frame body.
+// Shard 0 appends nothing — the legacy encoding.
+func AppendShardTag(dst []byte, shard int) []byte {
+	if shard > 0 {
+		dst = binary.AppendVarint(dst, int64(-1-shard))
+	}
+	return dst
+}
+
+// ShardTag reads the optional shard tag at the decoder's current
+// position. A non-negative first varint is a legacy (shard 0) frame
+// header and is left unconsumed; a tag varint is consumed and
+// translated back to its shard id. Malformed tags (the never-encoded
+// -1, or an absurd shard) fail the decode.
+func (d *Dec) ShardTag() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong shard tag at offset %d", d.off)
+		return 0
+	}
+	if v >= 0 {
+		return 0
+	}
+	s := -1 - v
+	if s < 1 || s > MaxShards {
+		d.fail("invalid shard tag %d", v)
+		return 0
+	}
+	d.off += n
+	return int(s)
+}
